@@ -1,0 +1,71 @@
+//! **Figure 3** — Best vs. worst case scenarios of exploiting the task graphs,
+//! i.e. how the distribution function spreads a task's/application's addresses
+//! over the task-graph units.
+//!
+//! Feeds the address streams of the real workload generators through the
+//! paper's XOR distribution function (and the alternative policies) and prints
+//! the per-task-graph load, the imbalance factor (1.0 = the round-robin best
+//! case of Fig. 3(A); N = the serialized worst case of Fig. 3(B)) and the
+//! resulting effective insertion parallelism.
+//!
+//! Run with: `cargo bench -p nexus-bench --bench fig3_distribution`
+
+use nexus_bench::report::Table;
+use nexus_core::distribution::{DistributionPolicy, Distributor};
+use nexus_trace::{Benchmark, Trace};
+
+fn address_stream(trace: &Trace) -> Vec<u64> {
+    trace
+        .tasks()
+        .flat_map(|t| t.params.iter().map(|p| p.addr))
+        .collect()
+}
+
+fn main() {
+    let policies = [
+        ("XOR hash (paper)", DistributionPolicy::XorHash),
+        ("modulo", DistributionPolicy::Modulo),
+        ("round-robin (Fig. 3A best case)", DistributionPolicy::RoundRobin),
+        ("single graph (Fig. 3B worst case)", DistributionPolicy::SingleGraph),
+    ];
+    let benches = [
+        Benchmark::CRay,
+        Benchmark::SparseLu,
+        Benchmark::H264Dec(nexus_trace::generators::MbGrouping::G1x1),
+        Benchmark::Gaussian { dim: 250 },
+    ];
+
+    for tgs in [4usize, 6, 8] {
+        let mut table = Table::new(
+            format!("Fig. 3 — distribution fairness over {tgs} task graphs"),
+            &[
+                "benchmark",
+                "policy",
+                "addresses",
+                "imbalance (max/ideal)",
+                "effective parallel TGs",
+            ],
+        );
+        for bench in benches {
+            let trace = bench.trace_scaled(7, 0.05);
+            let addrs = address_stream(&trace);
+            for (name, policy) in policies {
+                let mut d = Distributor::new(policy, tgs);
+                for &a in &addrs {
+                    d.pick(a);
+                }
+                let bal = d.balance();
+                table.row(vec![
+                    trace.name.clone(),
+                    name.to_string(),
+                    format!("{}", addrs.len()),
+                    format!("{:.2}", bal.imbalance()),
+                    format!("{:.2}", tgs as f64 / bal.imbalance()),
+                ]);
+            }
+        }
+        table.print();
+    }
+    println!("Imbalance 1.0 corresponds to the best case of Fig. 3(A) (all task graphs busy);");
+    println!("imbalance N corresponds to the worst case of Fig. 3(B) (one task graph at a time).");
+}

@@ -1,0 +1,108 @@
+//! **Figures 1, 4 and 5 + §IV-E micro-benchmark** — pipeline cycle schedules.
+//!
+//! Prints the per-stage cycle layout of inserting the running 4-parameter
+//! example task through the Nexus++ pipeline (Fig. 1) and the Nexus# pipeline
+//! in its average case (Fig. 4) and best case (Fig. 5), the steady-state
+//! write-back intervals the paper quotes (18 vs. 11 vs. 5 cycles), and the
+//! §IV-E micro-benchmark (5 independent 2-parameter tasks, one task graph)
+//! compared against the 78 cycles the paper reports and the 172 cycles of the
+//! task-superscalar prototype of Yazdanpanah et al.
+//!
+//! Run with: `cargo bench -p nexus-bench --bench fig4_pipeline_cycles`
+
+use nexus_bench::paper::{MICRO_BENCH_NEXUS_SHARP_CYCLES, MICRO_BENCH_TASK_SUPERSCALAR_CYCLES};
+use nexus_bench::report::Table;
+use nexus_core::pipeline::{insertion_span_cycles, micro_benchmark_cycles, sharp_pipeline_schedule, PipelineCase};
+use nexus_core::NexusSharpConfig;
+use nexus_pp::{pipeline_schedule, NexusPPConfig};
+
+fn main() {
+    let pp = NexusPPConfig::paper();
+    let sharp4 = NexusSharpConfig::at_mhz(4, 100.0);
+
+    // --- Fig. 1: Nexus++ pipeline for one 4-parameter task -----------------
+    let (spans, total) = pipeline_schedule(&pp, 1, 4);
+    let mut t1 = Table::new(
+        "Fig. 1 — Nexus++ pipeline, one 4-parameter task",
+        &["stage", "start cycle", "end cycle", "length"],
+    );
+    for s in &spans {
+        t1.row(vec![
+            s.stage.to_string(),
+            format!("{}", s.start_cycle),
+            format!("{}", s.end_cycle),
+            format!("{}", s.cycles()),
+        ]);
+    }
+    t1.row(vec!["TOTAL".into(), "0".into(), format!("{total}"), format!("{total}")]);
+    t1.print();
+
+    // --- Fig. 4 / Fig. 5: Nexus# pipeline ----------------------------------
+    for (title, case) in [
+        ("Fig. 4 — Nexus# average-case pipeline, one 4-parameter task (4 TGs)", PipelineCase::Average),
+        ("Fig. 5 — Nexus# best-case pipeline, one 4-parameter task (4 TGs)", PipelineCase::BestCase),
+    ] {
+        let (spans, total) = sharp_pipeline_schedule(&sharp4, 1, 4, case);
+        let mut t = Table::new(title, &["stage", "param", "start", "end", "length"]);
+        for s in &spans {
+            t.row(vec![
+                s.stage.to_string(),
+                s.param.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+                format!("{}", s.start_cycle),
+                format!("{}", s.end_cycle),
+                format!("{}", s.cycles()),
+            ]);
+        }
+        t.row(vec!["TOTAL".into(), "-".into(), "0".into(), format!("{total}"), format!("{total}")]);
+        t.print();
+    }
+
+    // --- Headline cycle numbers quoted in §IV-D ----------------------------
+    let mut head = Table::new(
+        "Pipeline headline numbers (measured vs. paper)",
+        &["quantity", "measured", "paper"],
+    );
+    head.row(vec![
+        "Nexus++ insert stage, 4 params (cycles)".into(),
+        format!("{}", pp.insert_cycles(4)),
+        "18".into(),
+    ]);
+    head.row(vec![
+        "Nexus# insertion span, average case (cycles)".into(),
+        format!("{}", insertion_span_cycles(&sharp4, 4, PipelineCase::Average)),
+        "11".into(),
+    ]);
+    head.row(vec![
+        "Nexus# insertion span, best case (cycles)".into(),
+        format!("{}", insertion_span_cycles(&sharp4, 4, PipelineCase::BestCase)),
+        "5".into(),
+    ]);
+    head.row(vec![
+        "Nexus++ steady-state write-back interval (cycles)".into(),
+        format!("{}", nexus_pp::pipeline::initiation_interval(&pp, 4)),
+        "18".into(),
+    ]);
+    head.print();
+
+    // --- §IV-E micro-benchmark ---------------------------------------------
+    let sharp1 = NexusSharpConfig::at_mhz(1, 100.0);
+    let measured = micro_benchmark_cycles(&sharp1);
+    let mut micro = Table::new(
+        "§IV-E micro-benchmark: 5 independent 2-parameter tasks, 1 task graph",
+        &["design", "cycles"],
+    );
+    micro.row(vec!["Nexus# (this model)".into(), format!("{measured}")]);
+    micro.row(vec![
+        "Nexus# (paper VHDL prototype)".into(),
+        format!("{MICRO_BENCH_NEXUS_SHARP_CYCLES}"),
+    ]);
+    micro.row(vec![
+        "Task superscalar prototype [19]".into(),
+        format!("{MICRO_BENCH_TASK_SUPERSCALAR_CYCLES}"),
+    ]);
+    micro.print();
+    assert!(
+        measured < MICRO_BENCH_TASK_SUPERSCALAR_CYCLES,
+        "the distributed design must beat the comparator"
+    );
+}

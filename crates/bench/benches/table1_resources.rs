@@ -1,0 +1,59 @@
+//! **Table I** — Device utilization using different design configurations on
+//! the ZC706 FPGA board.
+//!
+//! Prints the analytical resource/frequency model next to the paper's reported
+//! values for Nexus++ and Nexus# with 1/2/4/6/8 task graphs.
+//!
+//! Run with: `cargo bench -p nexus-bench --bench table1_resources`
+
+use nexus_bench::report::{fmt_pct, Table};
+use nexus_resources::{paper_table1, DeviceCapacity, ResourceModel};
+
+fn main() {
+    let model = ResourceModel::paper_calibrated();
+    let dev = DeviceCapacity::ZC706;
+
+    let mut table = Table::new(
+        "Table I: device utilization on the ZC706 (model vs. paper)",
+        &[
+            "configuration",
+            "registers",
+            "LUTs",
+            "LUTs(paper)",
+            "BRAMs",
+            "BRAMs(paper)",
+            "fmax MHz",
+            "fmax(paper)",
+            "test MHz",
+            "test(paper)",
+            "total util",
+        ],
+    );
+
+    for row in paper_table1() {
+        let est = model.estimate(row.config);
+        table.row(vec![
+            row.config.label(),
+            format!("{} ({})", est.registers, fmt_pct(est.register_util(dev))),
+            format!("{} ({})", est.luts, fmt_pct(est.lut_util(dev))),
+            format!("{}%", row.luts_pct),
+            format!("{} ({})", est.brams, fmt_pct(est.bram_util(dev))),
+            format!("{}%", row.brams_pct),
+            format!("{:.2}", est.max_freq_mhz),
+            format!("{:.2}", row.max_freq_mhz),
+            format!("{:.2}", est.test_freq_mhz),
+            format!("{:.2}", row.test_freq_mhz),
+            fmt_pct(est.total_util(dev)),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "ZC706 capacity: {} registers, {} LUTs, {} BRAMs",
+        dev.registers, dev.luts, dev.brams
+    );
+    println!(
+        "Largest Nexus# configuration fitting the ZC706 (model): {} task graphs",
+        model.largest_fitting(dev, 16)
+    );
+}

@@ -1,0 +1,52 @@
+//! **Table II** — Benchmarks' durations obtained from traces.
+//!
+//! Regenerates every workload at full size and prints task counts, total work,
+//! average task size and the dependency-count range next to the paper's values.
+//!
+//! Run with: `cargo bench -p nexus-bench --bench table2_workloads`
+//! (this one always uses full-size traces; it only generates, never simulates).
+
+use nexus_bench::paper::TABLE2;
+use nexus_bench::report::Table;
+use nexus_trace::{Benchmark, TraceStats};
+
+fn main() {
+    let mut table = Table::new(
+        "Table II: benchmark traces (generated vs. paper)",
+        &[
+            "benchmark",
+            "# tasks",
+            "# tasks(paper)",
+            "total work (ms)",
+            "work(paper)",
+            "avg task (us)",
+            "avg(paper)",
+            "# deps",
+            "deps(paper)",
+            "taskwaits",
+            "taskwait-ons",
+        ],
+    );
+
+    for (bench, paper) in Benchmark::table2_suite().iter().zip(TABLE2.iter()) {
+        let trace = bench.trace(42);
+        trace.validate().expect("generated trace must be valid");
+        let s = TraceStats::of(&trace);
+        table.row(vec![
+            s.name.clone(),
+            format!("{}", s.tasks),
+            format!("{}", paper.1),
+            format!("{:.0}", s.total_work_ms),
+            format!("{:.0}", paper.2),
+            format!("{:.1}", s.avg_task_us),
+            format!("{:.1}", paper.3),
+            s.deps_column(),
+            paper.4.to_string(),
+            format!("{}", s.taskwaits),
+            format!("{}", s.taskwait_ons),
+        ]);
+    }
+    table.print();
+    println!("Note: trace generators are synthetic reconstructions (DESIGN.md §2); task counts");
+    println!("match the paper's structure, average task sizes match the reported values.");
+}

@@ -1,0 +1,64 @@
+//! **Table III** — Gaussian elimination tasks for different matrix sizes,
+//! plus a structural check of the Fig. 6 dependency pattern.
+//!
+//! Run with: `cargo bench -p nexus-bench --bench table3_gaussian`
+
+use nexus_bench::paper::TABLE3;
+use nexus_bench::report::Table;
+use nexus_taskgraph::refgraph::ParallelismProfile;
+use nexus_trace::generators::gaussian;
+use nexus_trace::TraceStats;
+
+fn main() {
+    let mut table = Table::new(
+        "Table III: Gaussian elimination tasks (generated vs. paper)",
+        &[
+            "matrix dim",
+            "# tasks",
+            "# tasks(paper)",
+            "avg FLOPs",
+            "FLOPs(paper)",
+            "avg task (us)",
+            "us(paper)",
+        ],
+    );
+
+    for &(dim, paper_tasks, paper_flops, paper_us) in TABLE3 {
+        // The 3000x3000 instance has 4.5M tasks; generating it is fine, but we
+        // avoid computing full statistics twice.
+        let tasks = gaussian::task_count(dim as u64);
+        let flops = gaussian::average_flops(dim as u64);
+        table.row(vec![
+            format!("{dim}"),
+            format!("{tasks}"),
+            format!("{paper_tasks}"),
+            format!("{flops:.0}"),
+            format!("{paper_flops}"),
+            format!("{:.3}", flops / gaussian::FLOPS_PER_US),
+            format!("{paper_us:.3}"),
+        ]);
+    }
+    table.print();
+
+    // Fig. 6 structural check on a small instance: wave widths and the long
+    // kick-off list on the first pivot row.
+    let n = 64u32;
+    let trace = gaussian::generate(n);
+    let stats = TraceStats::of(&trace);
+    let profile = ParallelismProfile::of(&trace);
+    let mut fig6 = Table::new(
+        format!("Fig. 6 dependency pattern check (n = {n})"),
+        &["metric", "value"],
+    );
+    fig6.row(vec!["tasks".into(), format!("{}", stats.tasks)]);
+    fig6.row(vec!["deps per task".into(), stats.deps_column()]);
+    fig6.row(vec![
+        "available parallelism (work / critical path)".into(),
+        format!("{:.1}", profile.average_parallelism()),
+    ]);
+    fig6.row(vec![
+        "first-wave fan-out (tasks waiting on the first pivot row)".into(),
+        format!("{}", n - 1),
+    ]);
+    fig6.print();
+}

@@ -1,0 +1,62 @@
+//! `quick-report` — a fast end-to-end sanity run of the whole evaluation.
+//!
+//! Runs every Table II benchmark at a small scale under the four Fig. 8
+//! managers on a few core counts and prints measured vs. paper maximum
+//! speedups. Useful as a smoke test before launching the full `cargo bench`
+//! reproduction, and as a quickstart demonstration of the library.
+//!
+//! ```text
+//! cargo run --release -p nexus-bench --bin quick-report
+//! NEXUS_BENCH_SCALE=0.3 cargo run --release -p nexus-bench --bin quick-report
+//! ```
+
+use nexus_bench::managers::ManagerKind;
+use nexus_bench::paper::table4_row;
+use nexus_bench::report::{fmt_speedup, Table};
+use nexus_bench::runner::{bench_scale, curves_for};
+use nexus_trace::Benchmark;
+use std::time::Instant;
+
+fn main() {
+    let scale = bench_scale().min(0.05);
+    println!("quick-report: workload scale = {scale} (set NEXUS_BENCH_SCALE / NEXUS_FULL for more)\n");
+    let managers = ManagerKind::fig8_set();
+    let mut table = Table::new(
+        "Quick evaluation: max speedup (measured | paper Table IV)",
+        &[
+            "benchmark",
+            "ideal",
+            "Nanos",
+            "Nanos(paper)",
+            "Nexus++",
+            "Nexus++(paper)",
+            "Nexus# 6TG",
+            "Nexus#(paper)",
+        ],
+    );
+
+    for bench in Benchmark::table2_suite() {
+        let t0 = Instant::now();
+        let curves = curves_for(bench, &managers, scale, 42);
+        let get = |label: &str| -> f64 {
+            curves
+                .iter()
+                .find(|c| c.manager == label)
+                .map(|c| c.max_speedup())
+                .unwrap_or(f64::NAN)
+        };
+        let paper = table4_row(&bench.name());
+        table.row(vec![
+            bench.name(),
+            fmt_speedup(get("ideal")),
+            fmt_speedup(get("Nanos")),
+            paper.map(|p| fmt_speedup(p.nanos_max)).unwrap_or_default(),
+            fmt_speedup(get("Nexus++")),
+            paper.map(|p| fmt_speedup(p.nexus_pp_max)).unwrap_or_default(),
+            fmt_speedup(get("Nexus# 6TG")),
+            paper.map(|p| fmt_speedup(p.nexus_sharp_max)).unwrap_or_default(),
+        ]);
+        eprintln!("  [{}] done in {:?}", bench.name(), t0.elapsed());
+    }
+    table.print();
+}

@@ -1,0 +1,188 @@
+//! Nexus# configuration: number of task graphs, clocking, pipeline cycle costs.
+
+use crate::distribution::DistributionPolicy;
+use nexus_resources::{ManagerConfig, ResourceModel};
+use nexus_sim::ClockDomain;
+use nexus_taskgraph::assoc::SetAssocConfig;
+use nexus_taskgraph::taskpool::RetirementOrder;
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs and structural parameters of the Nexus# model.
+///
+/// The defaults reproduce the pipeline of Fig. 4: the Input Parser spends 2
+/// cycles on the header and 2 cycles per parameter (one 48-bit address = two
+/// 32-bit PCIe words), distributes each parameter immediately, and finally
+/// writes the descriptor to the Task Pool in one cycle; the New-Args FIFOs have
+/// a 3-cycle forwarding latency; insertion takes 5 cycles per parameter at the
+/// task graph; the arbiter gathers each result and the ready id passes a
+/// 3-cycle FIFO and a 3-cycle Write Back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NexusSharpConfig {
+    /// Number of task-graph units (the paper synthesizes 1–8 and selects 6).
+    pub task_graphs: usize,
+    /// Management clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Address distribution policy (the paper's XOR hash by default).
+    pub distribution: DistributionPolicy,
+    /// Set-associative geometry of each task graph.
+    pub table_per_tg: SetAssocConfig,
+    /// Task-pool capacity (in-flight task window).
+    pub task_pool_capacity: usize,
+    /// Task-pool recycling discipline (free list — out-of-order — for Nexus#).
+    pub retirement: RetirementOrder,
+
+    /// Input Parser: header cycles per task (IPh).
+    pub ip_header_cycles: u64,
+    /// Input Parser: cycles per parameter (IP).
+    pub ip_cycles_per_param: u64,
+    /// Input Parser: cycles to store the descriptor in the Task Pool (IPf).
+    pub ip_finalize_cycles: u64,
+    /// New-Args / Finished-Args buffer forwarding latency (cycles).
+    pub args_fifo_latency_cycles: u64,
+    /// Task-graph insertion cycles per parameter (IN).
+    pub insert_cycles_per_param: u64,
+    /// Arbiter cycles to gather one parameter result (AR).
+    pub arbiter_cycles_per_result: u64,
+    /// Arbiter cycles to conclude a task's final dependence count.
+    pub arbiter_decide_cycles: u64,
+    /// Internal Ready Tasks buffer forwarding latency (cycles).
+    pub ready_fifo_latency_cycles: u64,
+    /// Write Back cycles per ready task.
+    pub writeback_cycles: u64,
+
+    /// Cycles to receive a finished-task notification.
+    pub finish_receive_cycles: u64,
+    /// Input Parser cycles per parameter when re-distributing a finished task's
+    /// input/output list from the Task Pool.
+    pub finish_distribute_cycles_per_param: u64,
+    /// Task-graph cleanup cycles per parameter of a finished task.
+    pub delete_cycles_per_param: u64,
+    /// Arbiter cycles per waiting-task dependence-count decrement.
+    pub waiter_decrement_cycles: u64,
+
+    /// Extra cycles for reaching an entry in the overflow (dummy-entry) area.
+    pub overflow_penalty_cycles: u64,
+    /// Extra cycles per additional kick-off-list segment traversed.
+    pub kickoff_segment_penalty_cycles: u64,
+}
+
+impl Default for NexusSharpConfig {
+    fn default() -> Self {
+        Self::paper(6)
+    }
+}
+
+impl NexusSharpConfig {
+    /// The paper's evaluation configuration for a given number of task graphs,
+    /// clocked at the Table I *test* frequency of that configuration
+    /// (e.g. 6 task graphs at 55.56 MHz — the configuration used in Fig. 8).
+    pub fn paper(task_graphs: usize) -> Self {
+        let model = ResourceModel::paper_calibrated();
+        let freq = model
+            .estimate(ManagerConfig::NexusSharp {
+                task_graphs: task_graphs as u32,
+            })
+            .test_freq_mhz;
+        Self::at_mhz(task_graphs, freq)
+    }
+
+    /// A configuration forced to a specific frequency regardless of the number
+    /// of task graphs (Fig. 7(a) runs every configuration at 100 MHz).
+    pub fn at_mhz(task_graphs: usize, clock_mhz: f64) -> Self {
+        NexusSharpConfig {
+            task_graphs,
+            clock_mhz,
+            distribution: DistributionPolicy::XorHash,
+            table_per_tg: SetAssocConfig::default(),
+            task_pool_capacity: 512,
+            retirement: RetirementOrder::FreeList,
+            ip_header_cycles: 2,
+            ip_cycles_per_param: 2,
+            ip_finalize_cycles: 1,
+            args_fifo_latency_cycles: 3,
+            insert_cycles_per_param: 5,
+            arbiter_cycles_per_result: 1,
+            arbiter_decide_cycles: 1,
+            ready_fifo_latency_cycles: 3,
+            writeback_cycles: 3,
+            finish_receive_cycles: 2,
+            finish_distribute_cycles_per_param: 2,
+            delete_cycles_per_param: 5,
+            waiter_decrement_cycles: 1,
+            overflow_penalty_cycles: 4,
+            kickoff_segment_penalty_cycles: 2,
+        }
+    }
+
+    /// The clock domain of the manager.
+    pub fn clock(&self) -> ClockDomain {
+        ClockDomain::from_mhz(self.clock_mhz)
+    }
+
+    /// Input Parser occupancy for a whole task of `params` parameters
+    /// (header + per-parameter words + Task Pool write): 11 cycles for the
+    /// 4-parameter example of Fig. 4.
+    pub fn ip_cycles(&self, params: usize) -> u64 {
+        self.ip_header_cycles + self.ip_cycles_per_param * params as u64 + self.ip_finalize_cycles
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.task_graphs == 0 || self.task_graphs > 32 {
+            return Err(format!(
+                "task graph count must be in 1..=32 (5-bit id), got {}",
+                self.task_graphs
+            ));
+        }
+        if self.clock_mhz <= 0.0 {
+            return Err("clock frequency must be positive".into());
+        }
+        if self.task_pool_capacity == 0 {
+            return Err("task pool capacity must be non-zero".into());
+        }
+        self.table_per_tg.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_use_table1_test_frequencies() {
+        assert!((NexusSharpConfig::paper(1).clock_mhz - 100.0).abs() < 0.05);
+        assert!((NexusSharpConfig::paper(2).clock_mhz - 100.0).abs() < 0.05);
+        assert!((NexusSharpConfig::paper(4).clock_mhz - 83.33).abs() < 0.05);
+        assert!((NexusSharpConfig::paper(6).clock_mhz - 55.56).abs() < 0.05);
+        assert!((NexusSharpConfig::paper(8).clock_mhz - 41.66).abs() < 0.05);
+    }
+
+    #[test]
+    fn four_param_input_parsing_matches_fig4() {
+        let c = NexusSharpConfig::at_mhz(6, 100.0);
+        // IPh (2) + 4 x IP (2) + IPf (1) = 11 cycles.
+        assert_eq!(c.ip_cycles(4), 11);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.clock().period(), nexus_sim::SimDuration::from_ns(10));
+    }
+
+    #[test]
+    fn default_is_the_six_task_graph_configuration() {
+        let c = NexusSharpConfig::default();
+        assert_eq!(c.task_graphs, 6);
+        assert_eq!(c.retirement, RetirementOrder::FreeList);
+        assert_eq!(c.distribution, DistributionPolicy::XorHash);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_configs() {
+        let mut c = NexusSharpConfig::paper(6);
+        c.task_graphs = 0;
+        assert!(c.validate().is_err());
+        c.task_graphs = 64;
+        assert!(c.validate().is_err());
+        let mut c = NexusSharpConfig::paper(6);
+        c.clock_mhz = -1.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! The event-driven multicore host simulation.
+//!
+//! One master thread replays the trace in program order (submitting tasks,
+//! honouring `taskwait` / `taskwait on`, and stalling when the manager's task
+//! pool back-pressures); a pool of identical worker cores executes ready tasks;
+//! the manager under test decides *when* tasks become ready and retired.
+
+use crate::manager::{ManagerEvent, TaskManager};
+use crate::metrics::SimOutcome;
+use nexus_sim::{EventQueue, SimDuration, SimTime};
+use nexus_trace::{TaskDescriptor, TaskId, Trace, TraceOp};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Host machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostConfig {
+    /// Number of worker cores (the master runs on its own core, as in the
+    /// paper's testbench).
+    pub workers: usize,
+    /// Safety limit on simulation events (guards against model bugs producing
+    /// infinite loops). The default is ample for every paper workload.
+    pub max_events: u64,
+}
+
+impl HostConfig {
+    /// A host with `workers` worker cores.
+    pub fn with_workers(workers: usize) -> Self {
+        HostConfig {
+            workers,
+            max_events: u64::MAX,
+        }
+    }
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        Self::with_workers(32)
+    }
+}
+
+/// What the master thread is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MasterState {
+    /// Executing trace operations (a `MasterStep` event is pending).
+    Running,
+    /// Waiting for every submitted task to retire (`taskwait`), or for a
+    /// specific task to retire (`taskwait on`).
+    WaitingBarrier(Option<TaskId>),
+    /// Waiting for the manager to accept a new submission (task pool full).
+    WaitingCapacity,
+    /// Trace fully processed.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The master attempts to execute its next trace operation.
+    MasterStep,
+    /// A worker finished executing a task.
+    WorkerFinish(TaskId),
+    /// A worker becomes available again (after its finish-notification cost).
+    WorkerFree,
+    /// A ready notification becomes visible to the scheduler.
+    ReadyVisible(TaskId),
+    /// A retirement becomes visible (barrier / back-pressure bookkeeping).
+    RetiredVisible(TaskId),
+}
+
+/// Runs `trace` on a simulated machine with `cfg.workers` worker cores managed
+/// by `manager`. Panics if the simulation deadlocks (which would indicate a
+/// model bug — the property tests guard against it).
+pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) -> SimOutcome {
+    assert!(cfg.workers > 0, "need at least one worker core");
+    let tasks: HashMap<TaskId, &TaskDescriptor> = trace.tasks().map(|t| (t.id, t)).collect();
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut ready: VecDeque<TaskId> = VecDeque::new();
+    let mut free_workers = cfg.workers;
+    let mut master = MasterState::Running;
+    let mut op_idx = 0usize;
+    let mut submitted: u64 = 0;
+    let mut retired: HashSet<TaskId> = HashSet::new();
+    let mut executed: u64 = 0;
+    let mut last_writer: HashMap<u64, TaskId> = HashMap::new();
+    let mut makespan = SimTime::ZERO;
+    let mut events_processed: u64 = 0;
+
+    // Diagnostics.
+    let mut master_barrier_since: Option<SimTime> = None;
+    let mut master_backpressure_since: Option<SimTime> = None;
+    let mut master_barrier_time = SimDuration::ZERO;
+    let mut master_backpressure_time = SimDuration::ZERO;
+    let mut idle_worker_area = SimDuration::ZERO; // worker·time with tasks outstanding
+    let mut last_accounting = SimTime::ZERO;
+    let mut outstanding_tasks: u64 = 0;
+
+    queue.schedule(SimTime::ZERO, Event::MasterStep);
+
+    macro_rules! drain_manager {
+        ($now:expr) => {
+            for ev in manager.drain_events() {
+                match ev {
+                    ManagerEvent::Ready { task, at } => {
+                        queue.schedule(at.max($now), Event::ReadyVisible(task));
+                    }
+                    ManagerEvent::Retired { task, at } => {
+                        queue.schedule(at.max($now), Event::RetiredVisible(task));
+                    }
+                }
+            }
+        };
+    }
+
+    while let Some(ev) = queue.pop() {
+        let now = ev.time;
+        makespan = makespan.max(now);
+        events_processed += 1;
+        if events_processed > cfg.max_events {
+            panic!(
+                "simulation exceeded {} events on {} / {}",
+                cfg.max_events,
+                trace.name,
+                manager.name()
+            );
+        }
+
+        // Integrate idle-worker area (workers idle while work is outstanding).
+        let dt = now.saturating_since(last_accounting);
+        if outstanding_tasks > 0 && free_workers > 0 {
+            idle_worker_area += dt * free_workers.min(outstanding_tasks as usize) as u64;
+        }
+        last_accounting = now;
+
+        match ev.payload {
+            Event::MasterStep => {
+                if master == MasterState::Done {
+                    continue;
+                }
+                master = MasterState::Running;
+                // Execute exactly one trace operation (or block).
+                match trace.ops.get(op_idx) {
+                    None => {
+                        master = MasterState::Done;
+                    }
+                    Some(TraceOp::Submit(task)) => {
+                        if !manager.can_accept(now) {
+                            master = MasterState::WaitingCapacity;
+                            master_backpressure_since.get_or_insert(now);
+                            continue;
+                        }
+                        if let Some(since) = master_backpressure_since.take() {
+                            master_backpressure_time += now.since(since);
+                        }
+                        let release = manager.submit(task, now);
+                        drain_manager!(now);
+                        submitted += 1;
+                        outstanding_tasks += 1;
+                        for p in task.outputs() {
+                            last_writer.insert(p.addr, task.id);
+                        }
+                        op_idx += 1;
+                        queue.schedule(release.max(now), Event::MasterStep);
+                    }
+                    Some(TraceOp::Taskwait) => {
+                        if retired.len() as u64 == submitted {
+                            op_idx += 1;
+                            queue.schedule(now, Event::MasterStep);
+                        } else {
+                            master = MasterState::WaitingBarrier(None);
+                            master_barrier_since.get_or_insert(now);
+                        }
+                    }
+                    Some(TraceOp::TaskwaitOn(addr)) => {
+                        let target = if manager.supports_taskwait_on() {
+                            last_writer.get(addr).copied()
+                        } else {
+                            // Escalate to a full taskwait (Nexus++ behaviour).
+                            None
+                        };
+                        let satisfied = match target {
+                            Some(t) => retired.contains(&t),
+                            None => {
+                                manager.supports_taskwait_on()
+                                    || retired.len() as u64 == submitted
+                            }
+                        };
+                        if satisfied {
+                            op_idx += 1;
+                            queue.schedule(now, Event::MasterStep);
+                        } else {
+                            master = MasterState::WaitingBarrier(target);
+                            master_barrier_since.get_or_insert(now);
+                        }
+                    }
+                    Some(TraceOp::MasterCompute(d)) => {
+                        op_idx += 1;
+                        queue.schedule(now + *d, Event::MasterStep);
+                    }
+                }
+            }
+
+            Event::ReadyVisible(task) => {
+                ready.push_back(task);
+                // Dispatch as many ready tasks as there are free workers.
+                while free_workers > 0 {
+                    let Some(next) = ready.pop_front() else { break };
+                    let extra = manager.dispatch_cost(next, now);
+                    drain_manager!(now);
+                    free_workers -= 1;
+                    let dur = tasks[&next].duration;
+                    queue.schedule(now + extra + dur, Event::WorkerFinish(next));
+                }
+            }
+
+            Event::WorkerFinish(task) => {
+                executed += 1;
+                let worker_free_at = manager.finish(task, now);
+                drain_manager!(now);
+                queue.schedule(worker_free_at.max(now), Event::WorkerFree);
+            }
+
+            Event::WorkerFree => {
+                free_workers += 1;
+                while free_workers > 0 {
+                    let Some(next) = ready.pop_front() else { break };
+                    let extra = manager.dispatch_cost(next, now);
+                    drain_manager!(now);
+                    free_workers -= 1;
+                    let dur = tasks[&next].duration;
+                    queue.schedule(now + extra + dur, Event::WorkerFinish(next));
+                }
+            }
+
+            Event::RetiredVisible(task) => {
+                retired.insert(task);
+                outstanding_tasks -= 1;
+                match master {
+                    MasterState::WaitingCapacity => {
+                        master = MasterState::Running;
+                        queue.schedule(now, Event::MasterStep);
+                    }
+                    MasterState::WaitingBarrier(target) => {
+                        let satisfied = match target {
+                            Some(t) => retired.contains(&t),
+                            None => retired.len() as u64 == submitted,
+                        };
+                        if satisfied {
+                            if let Some(since) = master_barrier_since.take() {
+                                master_barrier_time += now.since(since);
+                            }
+                            master = MasterState::Running;
+                            queue.schedule(now, Event::MasterStep);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    assert_eq!(
+        master,
+        MasterState::Done,
+        "master never finished the trace ({}/{}; deadlock?)",
+        trace.name,
+        manager.name()
+    );
+    assert_eq!(
+        executed as usize,
+        tasks.len(),
+        "not all tasks executed ({}/{})",
+        trace.name,
+        manager.name()
+    );
+    assert_eq!(
+        retired.len(),
+        tasks.len(),
+        "not all tasks retired ({}/{})",
+        trace.name,
+        manager.name()
+    );
+
+    SimOutcome {
+        benchmark: trace.name.clone(),
+        manager: manager.name(),
+        workers: cfg.workers,
+        makespan: makespan.since(SimTime::ZERO),
+        total_work: trace.total_work(),
+        tasks: executed,
+        master_barrier_time,
+        master_backpressure_time,
+        worker_idle_time: idle_worker_area,
+        manager_stats: manager.stats_summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealManager;
+    use nexus_trace::generators::micro;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_us(v)
+    }
+
+    #[test]
+    fn independent_tasks_scale_perfectly_under_the_ideal_manager() {
+        let trace = micro::independent_tasks(64, 2, us(100));
+        for workers in [1usize, 2, 4, 8, 16, 64] {
+            let mut mgr = IdealManager::new();
+            let out = simulate(&trace, &mut mgr, &HostConfig::with_workers(workers));
+            let expected = 64.0 / (64usize.div_ceil(workers)) as f64;
+            assert!(
+                (out.speedup() - expected).abs() < 1e-6,
+                "{workers} workers: {} vs {}",
+                out.speedup(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn chain_never_exceeds_speedup_one() {
+        let trace = micro::chain(40, us(50));
+        let mut mgr = IdealManager::new();
+        let out = simulate(&trace, &mut mgr, &HostConfig::with_workers(16));
+        assert!((out.speedup() - 1.0).abs() < 1e-6, "{}", out.speedup());
+        assert_eq!(out.tasks, 40);
+    }
+
+    #[test]
+    fn wavefront_is_limited_by_its_critical_path() {
+        let trace = micro::wavefront(8, 8, us(10));
+        let mut mgr = IdealManager::new();
+        let out = simulate(&trace, &mut mgr, &HostConfig::with_workers(64));
+        // Critical path = 2*(rows-1) + cols tasks = 22 tasks -> 220 us.
+        assert_eq!(out.makespan, us(220));
+        let p = nexus_taskgraph::refgraph::ParallelismProfile::of(&trace);
+        assert!((out.speedup() - p.average_parallelism()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn taskwait_blocks_the_master_until_all_retired() {
+        let trace = micro::independent_tasks(4, 1, us(100));
+        // The trace ends with a taskwait; with 1 worker the makespan is 400 us.
+        let mut mgr = IdealManager::new();
+        let out = simulate(&trace, &mut mgr, &HostConfig::with_workers(1));
+        assert_eq!(out.makespan, us(400));
+        assert!(out.master_barrier_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_worker_speedup_is_about_one_for_every_micro_pattern() {
+        for trace in [
+            micro::five_independent_tasks(),
+            micro::fork_join(8, us(20)),
+            micro::wavefront(5, 5, us(7)),
+        ] {
+            let mut mgr = IdealManager::new();
+            let out = simulate(&trace, &mut mgr, &HostConfig::with_workers(1));
+            assert!((out.speedup() - 1.0).abs() < 1e-6, "{}", trace.name);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # nexus-host — the simulated multicore host ("the testbench")
+//!
+//! §V-B of the paper: "The test bench simulates the RTS. It submits new tasks to
+//! Nexus#, receives ready task information from it, schedules ready tasks to
+//! worker cores and simulates their execution, and finally notifies Nexus# of
+//! finished tasks."
+//!
+//! This crate provides exactly that, generalized over a [`TaskManager`]
+//! implementation so the same driver runs the *No Overhead* ideal manager, the
+//! Nanos software-runtime model, Nexus++ and Nexus#:
+//!
+//! * [`TaskManager`] — the manager-side interface (submit / finish / readiness
+//!   and retirement notifications / capacity back-pressure),
+//! * [`IdealManager`] — the paper's "No Overhead" configuration,
+//! * [`simulate`] / [`HostConfig`] — the event-driven multicore simulation with
+//!   a master thread replaying the trace (including `taskwait` and `taskwait
+//!   on` semantics, with escalation when the manager lacks support) and a pool
+//!   of worker cores,
+//! * [`SimOutcome`] — makespan, speedup and diagnostic counters,
+//! * [`sweep`] — speedup-vs-core-count curves and suite sweeps used by the
+//!   benchmark harness to regenerate Figs. 7–9 and Table IV.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod ideal;
+pub mod manager;
+pub mod metrics;
+pub mod sweep;
+
+pub use driver::{simulate, HostConfig};
+pub use ideal::IdealManager;
+pub use manager::{ManagerEvent, TaskManager};
+pub use metrics::SimOutcome;
+pub use sweep::{speedup_curve, SpeedupCurve, SpeedupPoint};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::driver::{simulate, HostConfig};
+    pub use crate::ideal::IdealManager;
+    pub use crate::manager::{ManagerEvent, TaskManager};
+    pub use crate::metrics::SimOutcome;
+    pub use crate::sweep::{speedup_curve, SpeedupCurve, SpeedupPoint};
+}

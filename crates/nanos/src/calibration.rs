@@ -1,0 +1,82 @@
+//! Per-benchmark overhead calibration.
+//!
+//! The paper does not report Nanos' absolute per-task overheads; it reports the
+//! resulting speedup curves (Fig. 8) and their maxima (Table IV). The cost
+//! *structure* of the model lives in [`crate::config`]; this module holds one
+//! scalar per benchmark that scales those costs so the model's 32-core cap
+//! lands near the paper's measurement. The scale factors absorb real-world
+//! effects the structural model does not capture explicitly (allocator
+//! pressure, NUMA traffic, Mercurium-generated glue code, taskwait
+//! implementation details), and they are deliberately transparent: every entry
+//! is listed here with the Table IV value it targets.
+
+/// `(benchmark-name prefix, overhead scale, paper's Table IV max speedup)`.
+pub const CALIBRATION: &[(&str, f64, f64)] = &[
+    // Long independent tasks: overhead barely matters.
+    ("c-ray", 1.0, 31.4),
+    // Half-millisecond pipelined pairs: mild overhead sensitivity.
+    ("rot-cc", 1.6, 24.5),
+    // Blocked LU with 0.7 ms tasks, designed to match Nanos overheads.
+    ("sparselu", 1.8, 24.5),
+    // Fork-join with many short tasks and frequent taskwaits: Nanos collapses.
+    ("streamcluster", 9.5, 4.9),
+    // Macroblock-granularity decoding: tasks of a few microseconds; the
+    // runtime is slower than serial execution at the finest granularity.
+    ("h264dec-1x1", 1.3, 0.7),
+    ("h264dec-2x2", 1.3, 1.4),
+    ("h264dec-4x4", 1.3, 3.6),
+    ("h264dec-8x8", 1.3, 3.9),
+    // Sub-microsecond Gaussian elimination tasks (Fig. 9 does not include
+    // Nanos; kept for completeness).
+    ("gaussian", 1.0, f64::NAN),
+];
+
+/// Returns the calibrated overhead scale for a benchmark trace name
+/// (prefix match; unknown benchmarks use 1.0).
+pub fn benchmark_overhead_scale(benchmark: &str) -> f64 {
+    // Longest-prefix match so "h264dec-1x1-10f" hits the 1x1 entry.
+    CALIBRATION
+        .iter()
+        .filter(|(prefix, _, _)| benchmark.starts_with(prefix))
+        .max_by_key(|(prefix, _, _)| prefix.len())
+        .map(|(_, scale, _)| *scale)
+        .unwrap_or(1.0)
+}
+
+/// The paper's Table IV maximum speedup for a benchmark, if listed.
+pub fn paper_max_speedup(benchmark: &str) -> Option<f64> {
+    CALIBRATION
+        .iter()
+        .filter(|(prefix, _, _)| benchmark.starts_with(prefix))
+        .max_by_key(|(prefix, _, _)| prefix.len())
+        .map(|(_, _, max)| *max)
+        .filter(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matching_picks_the_most_specific_entry() {
+        assert_eq!(benchmark_overhead_scale("h264dec-1x1-10f"), 1.3);
+        assert_eq!(benchmark_overhead_scale("streamcluster"), 9.5);
+        assert_eq!(benchmark_overhead_scale("c-ray"), 1.0);
+        assert_eq!(benchmark_overhead_scale("unknown-benchmark"), 1.0);
+    }
+
+    #[test]
+    fn paper_values_are_exposed() {
+        assert_eq!(paper_max_speedup("streamcluster"), Some(4.9));
+        assert_eq!(paper_max_speedup("h264dec-8x8-10f"), Some(3.9));
+        assert_eq!(paper_max_speedup("gaussian-250"), None);
+        assert_eq!(paper_max_speedup("unheard-of"), None);
+    }
+
+    #[test]
+    fn every_calibration_entry_is_positive() {
+        for (name, scale, _) in CALIBRATION {
+            assert!(*scale > 0.0, "{name}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Nexus++ configuration: pipeline cycle costs, table geometry, clocking.
+
+use nexus_sim::ClockDomain;
+use nexus_taskgraph::assoc::SetAssocConfig;
+use nexus_taskgraph::taskpool::RetirementOrder;
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs and structural parameters of the Nexus++ model.
+///
+/// The defaults reproduce the numbers given in §III for the running 4-parameter
+/// example: Input Parser 12 cycles (4 header/sync + 2 per parameter), Insert 18
+/// cycles (2 + 4 per parameter), Write Back 3 cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NexusPPConfig {
+    /// Management clock frequency in MHz (Table I: 100 MHz test frequency).
+    pub clock_mhz: f64,
+    /// Set-associative table geometry of the single task graph.
+    pub table: SetAssocConfig,
+    /// Task-pool capacity (in-flight task window).
+    pub task_pool_capacity: usize,
+    /// Task-pool slot recycling discipline (Nexus++ uses a circular buffer).
+    pub retirement: RetirementOrder,
+
+    /// Input Parser: header + synchronization cycles per task.
+    pub ip_header_cycles: u64,
+    /// Input Parser: cycles per parameter (two 32-bit PCIe words per address).
+    pub ip_cycles_per_param: u64,
+    /// FIFO forwarding latency between pipeline stages (cycles).
+    pub fifo_latency_cycles: u64,
+    /// Insert stage: fixed cycles per task.
+    pub insert_base_cycles: u64,
+    /// Insert stage: cycles per parameter.
+    pub insert_cycles_per_param: u64,
+    /// Write Back stage: cycles per ready task.
+    pub writeback_cycles: u64,
+
+    /// Finished-task pipeline: cycles to receive a completion notification.
+    pub finish_receive_cycles: u64,
+    /// Finished-task pipeline: cleanup cycles per parameter.
+    pub delete_cycles_per_param: u64,
+    /// Finished-task pipeline: cycles per kicked-off waiting task.
+    pub kickoff_cycles_per_waiter: u64,
+
+    /// Extra cycles for reaching an entry in the overflow (dummy-entry) area.
+    pub overflow_penalty_cycles: u64,
+    /// Extra cycles per additional kick-off-list segment traversed.
+    pub kickoff_segment_penalty_cycles: u64,
+}
+
+impl Default for NexusPPConfig {
+    fn default() -> Self {
+        NexusPPConfig {
+            clock_mhz: 100.0,
+            table: SetAssocConfig::default(),
+            task_pool_capacity: 256,
+            retirement: RetirementOrder::InOrder,
+            ip_header_cycles: 4,
+            ip_cycles_per_param: 2,
+            fifo_latency_cycles: 3,
+            insert_base_cycles: 2,
+            insert_cycles_per_param: 4,
+            writeback_cycles: 3,
+            finish_receive_cycles: 4,
+            delete_cycles_per_param: 4,
+            kickoff_cycles_per_waiter: 2,
+            overflow_penalty_cycles: 4,
+            kickoff_segment_penalty_cycles: 2,
+        }
+    }
+}
+
+impl NexusPPConfig {
+    /// The paper's evaluation configuration (100 MHz, Table I).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// The clock domain of the manager.
+    pub fn clock(&self) -> ClockDomain {
+        ClockDomain::from_mhz(self.clock_mhz)
+    }
+
+    /// Input Parser cycles for a task with `params` parameters
+    /// (12 for the 4-parameter example of Fig. 1).
+    pub fn ip_cycles(&self, params: usize) -> u64 {
+        self.ip_header_cycles + self.ip_cycles_per_param * params as u64
+    }
+
+    /// Insert-stage cycles for a task with `params` parameters
+    /// (18 for the 4-parameter example of Fig. 1).
+    pub fn insert_cycles(&self, params: usize) -> u64 {
+        self.insert_base_cycles + self.insert_cycles_per_param * params as u64
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clock_mhz <= 0.0 {
+            return Err("clock frequency must be positive".into());
+        }
+        if self.task_pool_capacity == 0 {
+            return Err("task pool capacity must be non-zero".into());
+        }
+        self.table.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reproduce_the_papers_stage_lengths() {
+        let c = NexusPPConfig::default();
+        assert_eq!(c.ip_cycles(4), 12, "Fig. 1: 12 cycles of input parsing");
+        assert_eq!(c.insert_cycles(4), 18, "Fig. 1: 18-cycle insert stage");
+        assert_eq!(c.writeback_cycles, 3, "Fig. 1: 3-cycle write back");
+        assert_eq!(c.clock().period(), nexus_sim::SimDuration::from_ns(10));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = NexusPPConfig::default();
+        c.clock_mhz = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = NexusPPConfig::default();
+        c.task_pool_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # nexus-pp — the Nexus++ baseline task manager
+//!
+//! Nexus++ (§III of the paper) is the centralized predecessor of Nexus#: a
+//! single task graph fed by a 3-stage pipeline:
+//!
+//! 1. **Input Parser** — receives a whole task from the host (2 cycles per
+//!    32-bit PCIe word, two words per 48-bit address, plus header and
+//!    synchronization: 12 cycles for the 4-parameter example of Fig. 1),
+//! 2. **Insert** — inserts all of the task's parameters into the single
+//!    set-associative task graph (18 cycles for the 4-parameter example),
+//! 3. **Write Back** — returns ready task ids to the Nexus IO unit (3 cycles).
+//!
+//! A second pipeline handles finished tasks: kicking off waiting tasks and
+//! cleaning up the tables; it shares the single task-graph storage with the
+//! Insert stage, so the two streams serialize on the central graph engine.
+//!
+//! Nexus++ does **not** support the `taskwait on` pragma (§III / §VI) — the
+//! host driver escalates such barriers to full `taskwait`s, which is what makes
+//! the fine-grained h264dec benchmark scale poorly on it. Its task pool also
+//! recycles slots in submission order (a circular buffer), so a long-running
+//! early task delays slot reuse.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod manager;
+pub mod pipeline;
+
+pub use config::NexusPPConfig;
+pub use manager::NexusPP;
+pub use pipeline::{pipeline_schedule, StageSpan};

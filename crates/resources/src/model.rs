@@ -1,0 +1,331 @@
+//! The analytical resource & frequency model.
+
+use serde::{Deserialize, Serialize};
+
+/// The FPGA device the paper targets (Xilinx ZYNQ-7 ZC706, XC7Z045).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceCapacity {
+    /// Total flip-flops/registers.
+    pub registers: u64,
+    /// Total look-up tables.
+    pub luts: u64,
+    /// Total 36 Kb block RAMs.
+    pub brams: u64,
+}
+
+impl DeviceCapacity {
+    /// The ZC706 capacities from Table I.
+    pub const ZC706: DeviceCapacity = DeviceCapacity {
+        registers: 437_200,
+        luts: 218_600,
+        brams: 545,
+    };
+}
+
+/// A hardware task-manager configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ManagerConfig {
+    /// The Nexus++ baseline (single central task graph).
+    NexusPP,
+    /// Nexus# with the given number of task graphs (1–32 supported by the
+    /// distribution function; 1–8 synthesized in the paper).
+    NexusSharp {
+        /// Number of task-graph units.
+        task_graphs: u32,
+    },
+}
+
+impl ManagerConfig {
+    /// Human-readable label matching the paper's Table I rows.
+    pub fn label(&self) -> String {
+        match self {
+            ManagerConfig::NexusPP => "Nexus++".to_string(),
+            ManagerConfig::NexusSharp { task_graphs } => {
+                format!("Nexus# {task_graphs} TG{}", if *task_graphs == 1 { "" } else { "s" })
+            }
+        }
+    }
+}
+
+/// Estimated resources and clocking of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Flip-flop / register count.
+    pub registers: u64,
+    /// LUT count.
+    pub luts: u64,
+    /// Block-RAM count.
+    pub brams: u64,
+    /// Maximum achievable clock frequency (MHz).
+    pub max_freq_mhz: f64,
+    /// Frequency actually used for the performance evaluation (MHz).
+    pub test_freq_mhz: f64,
+}
+
+impl ResourceEstimate {
+    /// Register utilization (0–1) of a device.
+    pub fn register_util(&self, dev: DeviceCapacity) -> f64 {
+        self.registers as f64 / dev.registers as f64
+    }
+    /// LUT utilization (0–1) of a device.
+    pub fn lut_util(&self, dev: DeviceCapacity) -> f64 {
+        self.luts as f64 / dev.luts as f64
+    }
+    /// Block-RAM utilization (0–1) of a device.
+    pub fn bram_util(&self, dev: DeviceCapacity) -> f64 {
+        self.brams as f64 / dev.brams as f64
+    }
+    /// The paper's "Total Util." column: the dominant computational-resource
+    /// utilization (LUTs) rounded to a percentage.
+    pub fn total_util(&self, dev: DeviceCapacity) -> f64 {
+        self.lut_util(dev)
+    }
+    /// True if the configuration fits on the device.
+    pub fn fits(&self, dev: DeviceCapacity) -> bool {
+        self.registers <= dev.registers && self.luts <= dev.luts && self.brams <= dev.brams
+    }
+}
+
+/// Calibration constants of the linear area model (per-unit increments and the
+/// shared front-end), fitted to Table I. See the crate docs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    /// Registers of the shared front-end (Nexus IO, Input Parser, arbiter core).
+    pub base_registers: f64,
+    /// Registers added per task graph.
+    pub per_tg_registers: f64,
+    /// LUTs of the shared front-end.
+    pub base_luts: f64,
+    /// LUTs added per task graph (task-graph FSM plus its share of the
+    /// distribution and arbitration logic).
+    pub per_tg_luts: f64,
+    /// Block RAMs of the shared front-end (task pool, function-pointer table,
+    /// global dependence-counts table).
+    pub base_brams: f64,
+    /// Block RAMs per task graph (the set-associative tables and buffers).
+    pub per_tg_brams: f64,
+    /// Source clock (MHz) whose integer dividers are the selectable test
+    /// frequencies.
+    pub source_clock_mhz: f64,
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        // Linear fit through the 1-TG and 8-TG rows of Table I (the 8-TG row is
+        // given in absolute numbers in §IV-E: 19,350 registers / 127,290 LUTs).
+        ResourceModel {
+            base_registers: 2_230.0,
+            per_tg_registers: 2_140.0,
+            base_luts: 1_870.0,
+            per_tg_luts: 15_620.0,
+            base_brams: 10.0,
+            per_tg_brams: 60.8,
+            source_clock_mhz: 500.0,
+        }
+    }
+}
+
+/// Measured maximum-frequency points from Table I used for interpolation:
+/// (task graphs, MHz).
+const FMAX_POINTS: [(f64, f64); 5] = [
+    (1.0, 112.63),
+    (2.0, 112.63),
+    (4.0, 85.26),
+    (6.0, 55.66),
+    (8.0, 43.53),
+];
+
+impl ResourceModel {
+    /// The default, Table-I-calibrated model.
+    pub fn paper_calibrated() -> Self {
+        Self::default()
+    }
+
+    /// Resource estimate for a configuration.
+    pub fn estimate(&self, config: ManagerConfig) -> ResourceEstimate {
+        match config {
+            ManagerConfig::NexusPP => ResourceEstimate {
+                // Nexus++ is "most analogous" to the 1-TG Nexus# configuration
+                // but with a slightly leaner front-end (no scatter-gather) and a
+                // slightly larger single table (Table I: 7% LUTs, 14% BRAMs).
+                registers: 4_350,
+                luts: 15_300,
+                brams: 76,
+                max_freq_mhz: 114.44,
+                test_freq_mhz: 100.0,
+            },
+            ManagerConfig::NexusSharp { task_graphs } => {
+                let n = task_graphs.max(1) as f64;
+                let max_freq = self.max_freq_mhz(task_graphs);
+                ResourceEstimate {
+                    registers: (self.base_registers + self.per_tg_registers * n).round() as u64,
+                    luts: (self.base_luts + self.per_tg_luts * n).round() as u64,
+                    brams: (self.base_brams + self.per_tg_brams * n).round() as u64,
+                    max_freq_mhz: max_freq,
+                    test_freq_mhz: self.test_freq_mhz(task_graphs),
+                }
+            }
+        }
+    }
+
+    /// Maximum achievable frequency for a Nexus# configuration, interpolated
+    /// piecewise-linearly between the paper's measured points (clamped at the
+    /// ends, extrapolated ∝ 1/n beyond 8 task graphs).
+    pub fn max_freq_mhz(&self, task_graphs: u32) -> f64 {
+        let n = task_graphs.max(1) as f64;
+        let (first_n, first_f) = FMAX_POINTS[0];
+        let (last_n, last_f) = FMAX_POINTS[FMAX_POINTS.len() - 1];
+        if n <= first_n {
+            return first_f;
+        }
+        if n >= last_n {
+            // Critical path keeps growing with the arbiter fan-in: scale ~1/n.
+            return last_f * last_n / n;
+        }
+        for w in FMAX_POINTS.windows(2) {
+            let (n0, f0) = w[0];
+            let (n1, f1) = w[1];
+            if n >= n0 && n <= n1 {
+                let t = (n - n0) / (n1 - n0);
+                return f0 + t * (f1 - f0);
+            }
+        }
+        unreachable!("interpolation covers the full range")
+    }
+
+    /// The test frequency used in the evaluation: the fastest integer divider
+    /// of the source clock that does not exceed the achievable frequency,
+    /// floored at 1 MHz.
+    pub fn test_freq_mhz(&self, task_graphs: u32) -> f64 {
+        let fmax = self.max_freq_mhz(task_graphs);
+        let mut div = 1u32;
+        loop {
+            let f = self.source_clock_mhz / div as f64;
+            if f <= fmax + 1e-9 {
+                return f;
+            }
+            div += 1;
+            if div > 500 {
+                return 1.0;
+            }
+        }
+    }
+
+    /// Largest Nexus# configuration that fits on a device.
+    pub fn largest_fitting(&self, dev: DeviceCapacity, max_tgs: u32) -> u32 {
+        let mut best = 0;
+        for n in 1..=max_tgs {
+            if self
+                .estimate(ManagerConfig::NexusSharp { task_graphs: n })
+                .fits(dev)
+            {
+                best = n;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lut_percentages_are_reproduced() {
+        let m = ResourceModel::paper_calibrated();
+        let dev = DeviceCapacity::ZC706;
+        // Paper: 8%, 15%, 29%, 44%, 58% for 1/2/4/6/8 TGs (LUT column).
+        let expect = [(1u32, 8.0), (2, 15.0), (4, 29.0), (6, 44.0), (8, 58.0)];
+        for (tgs, pct) in expect {
+            let est = m.estimate(ManagerConfig::NexusSharp { task_graphs: tgs });
+            let got = est.lut_util(dev) * 100.0;
+            assert!(
+                (got - pct).abs() <= 1.5,
+                "{tgs} TGs: model {got:.1}% vs paper {pct}%"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_bram_percentages_are_reproduced() {
+        let m = ResourceModel::paper_calibrated();
+        let dev = DeviceCapacity::ZC706;
+        let expect = [(1u32, 13.0), (2, 25.0), (4, 47.0), (6, 69.0), (8, 91.0)];
+        for (tgs, pct) in expect {
+            let est = m.estimate(ManagerConfig::NexusSharp { task_graphs: tgs });
+            let got = est.bram_util(dev) * 100.0;
+            assert!(
+                (got - pct).abs() <= 2.0,
+                "{tgs} TGs: model {got:.1}% vs paper {pct}%"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_tg_absolute_numbers_match_section_4e() {
+        let m = ResourceModel::paper_calibrated();
+        let est = m.estimate(ManagerConfig::NexusSharp { task_graphs: 8 });
+        // Paper §IV-E: 19,350 registers and 127,290 LUTs for the 8-TG design.
+        assert!((est.registers as f64 - 19_350.0).abs() / 19_350.0 < 0.03, "{}", est.registers);
+        assert!((est.luts as f64 - 127_290.0).abs() / 127_290.0 < 0.03, "{}", est.luts);
+    }
+
+    #[test]
+    fn test_frequencies_match_table1() {
+        let m = ResourceModel::paper_calibrated();
+        let expect = [
+            (1u32, 100.0),
+            (2, 100.0),
+            (4, 83.33),
+            (6, 55.56),
+            (8, 41.66),
+        ];
+        for (tgs, mhz) in expect {
+            let got = m.test_freq_mhz(tgs);
+            assert!((got - mhz).abs() < 0.05, "{tgs} TGs: {got} vs {mhz}");
+        }
+    }
+
+    #[test]
+    fn max_frequencies_interpolate_and_extrapolate() {
+        let m = ResourceModel::paper_calibrated();
+        assert!((m.max_freq_mhz(1) - 112.63).abs() < 1e-9);
+        assert!((m.max_freq_mhz(6) - 55.66).abs() < 1e-9);
+        // Between measured points: monotone non-increasing.
+        assert!(m.max_freq_mhz(3) <= m.max_freq_mhz(2));
+        assert!(m.max_freq_mhz(5) <= m.max_freq_mhz(4));
+        // Beyond 8 TGs the frequency keeps dropping.
+        assert!(m.max_freq_mhz(16) < m.max_freq_mhz(8));
+        assert!(m.max_freq_mhz(16) > 0.0);
+    }
+
+    #[test]
+    fn nexus_pp_matches_its_table1_row() {
+        let m = ResourceModel::paper_calibrated();
+        let dev = DeviceCapacity::ZC706;
+        let est = m.estimate(ManagerConfig::NexusPP);
+        assert!((est.lut_util(dev) * 100.0 - 7.0).abs() < 1.0);
+        assert!((est.bram_util(dev) * 100.0 - 14.0).abs() < 1.0);
+        assert_eq!(est.test_freq_mhz, 100.0);
+        assert!(est.fits(dev));
+        assert_eq!(ManagerConfig::NexusPP.label(), "Nexus++");
+        assert_eq!(
+            ManagerConfig::NexusSharp { task_graphs: 6 }.label(),
+            "Nexus# 6 TGs"
+        );
+    }
+
+    #[test]
+    fn everything_up_to_8_tgs_fits_the_zc706() {
+        let m = ResourceModel::paper_calibrated();
+        assert!(m.largest_fitting(DeviceCapacity::ZC706, 16) >= 8);
+        // A much smaller device (say a Virtex-5-class part) cannot fit the
+        // larger configurations — the reason the authors switched boards.
+        let small = DeviceCapacity {
+            registers: 81_920,
+            luts: 81_920,
+            brams: 298,
+        };
+        assert!(m.largest_fitting(small, 16) < 8);
+    }
+}

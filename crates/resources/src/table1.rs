@@ -1,0 +1,133 @@
+//! The paper's Table I rows, embedded verbatim for model-vs-paper reporting.
+
+use crate::model::ManagerConfig;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I as printed in the paper (percentages of the ZC706).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperTable1Row {
+    /// Configuration the row describes.
+    pub config: ManagerConfig,
+    /// Register utilization (percent).
+    pub registers_pct: f64,
+    /// LUT utilization (percent).
+    pub luts_pct: f64,
+    /// Block-RAM utilization (percent).
+    pub brams_pct: f64,
+    /// Maximum achievable frequency (MHz).
+    pub max_freq_mhz: f64,
+    /// Test frequency used in the evaluation (MHz).
+    pub test_freq_mhz: f64,
+    /// "Total Util." column (percent).
+    pub total_util_pct: f64,
+}
+
+/// The six configuration rows of Table I.
+pub fn paper_table1() -> Vec<PaperTable1Row> {
+    vec![
+        PaperTable1Row {
+            config: ManagerConfig::NexusPP,
+            registers_pct: 1.0,
+            luts_pct: 7.0,
+            brams_pct: 14.0,
+            max_freq_mhz: 114.44,
+            test_freq_mhz: 100.0,
+            total_util_pct: 7.0,
+        },
+        PaperTable1Row {
+            config: ManagerConfig::NexusSharp { task_graphs: 1 },
+            registers_pct: 1.0,
+            luts_pct: 8.0,
+            brams_pct: 13.0,
+            max_freq_mhz: 112.63,
+            test_freq_mhz: 100.0,
+            total_util_pct: 7.0,
+        },
+        PaperTable1Row {
+            config: ManagerConfig::NexusSharp { task_graphs: 2 },
+            registers_pct: 2.0,
+            luts_pct: 15.0,
+            brams_pct: 25.0,
+            max_freq_mhz: 112.63,
+            test_freq_mhz: 100.0,
+            total_util_pct: 15.0,
+        },
+        PaperTable1Row {
+            config: ManagerConfig::NexusSharp { task_graphs: 4 },
+            registers_pct: 3.0,
+            luts_pct: 29.0,
+            brams_pct: 47.0,
+            max_freq_mhz: 85.26,
+            test_freq_mhz: 83.33,
+            total_util_pct: 29.0,
+        },
+        PaperTable1Row {
+            config: ManagerConfig::NexusSharp { task_graphs: 6 },
+            registers_pct: 4.0,
+            luts_pct: 44.0,
+            brams_pct: 69.0,
+            max_freq_mhz: 55.66,
+            test_freq_mhz: 55.56,
+            total_util_pct: 44.0,
+        },
+        PaperTable1Row {
+            config: ManagerConfig::NexusSharp { task_graphs: 8 },
+            registers_pct: 4.0,
+            luts_pct: 58.0,
+            brams_pct: 91.0,
+            max_freq_mhz: 43.53,
+            test_freq_mhz: 41.66,
+            total_util_pct: 58.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DeviceCapacity, ResourceModel};
+
+    #[test]
+    fn table_has_all_six_rows_in_order() {
+        let rows = paper_table1();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].config, ManagerConfig::NexusPP);
+        assert_eq!(rows[5].config, ManagerConfig::NexusSharp { task_graphs: 8 });
+    }
+
+    #[test]
+    fn model_tracks_every_paper_row_within_tolerance() {
+        let model = ResourceModel::paper_calibrated();
+        let dev = DeviceCapacity::ZC706;
+        for row in paper_table1() {
+            let est = model.estimate(row.config);
+            assert!(
+                (est.lut_util(dev) * 100.0 - row.luts_pct).abs() <= 1.5,
+                "{}: LUT {} vs {}",
+                row.config.label(),
+                est.lut_util(dev) * 100.0,
+                row.luts_pct
+            );
+            assert!(
+                (est.bram_util(dev) * 100.0 - row.brams_pct).abs() <= 2.0,
+                "{}: BRAM",
+                row.config.label()
+            );
+            assert!(
+                (est.test_freq_mhz - row.test_freq_mhz).abs() < 0.05,
+                "{}: test freq {} vs {}",
+                row.config.label(),
+                est.test_freq_mhz,
+                row.test_freq_mhz
+            );
+        }
+    }
+
+    #[test]
+    fn frequencies_decrease_with_task_graphs() {
+        let rows = paper_table1();
+        for w in rows[1..].windows(2) {
+            assert!(w[1].max_freq_mhz <= w[0].max_freq_mhz);
+        }
+    }
+}

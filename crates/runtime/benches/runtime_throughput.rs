@@ -1,0 +1,104 @@
+//! Criterion benchmarks of the real threaded runtime: submission + execution
+//! throughput for independent tasks, dependent chains and a wavefront, and the
+//! scaling of the sharded dependency graph with the shard count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nexus_rt::{Runtime, TaskSpec};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const TASKS: u64 = 2_000;
+
+fn bench_independent_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_independent_tasks");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(TASKS));
+    for workers in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| {
+                let rt = Runtime::with_shards(workers, 6).unwrap();
+                let acc = Arc::new(AtomicU64::new(0));
+                for i in 0..TASKS {
+                    let acc = Arc::clone(&acc);
+                    rt.submit(
+                        TaskSpec::new(move || {
+                            acc.fetch_add(black_box(i), Ordering::Relaxed);
+                        })
+                        .output(i * 64),
+                    );
+                }
+                rt.taskwait();
+                black_box(acc.load(Ordering::Relaxed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dependency_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_dependency_chains");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(TASKS));
+    // 16 independent chains of TASKS/16 tasks each: exercises the release path.
+    group.bench_function("16_chains", |b| {
+        b.iter(|| {
+            let rt = Runtime::with_shards(4, 6).unwrap();
+            let acc = Arc::new(AtomicU64::new(0));
+            for step in 0..(TASKS / 16) {
+                for chain in 0..16u64 {
+                    let acc = Arc::clone(&acc);
+                    rt.submit(
+                        TaskSpec::new(move || {
+                            acc.fetch_add(black_box(step), Ordering::Relaxed);
+                        })
+                        .inout(chain * 64),
+                    );
+                }
+            }
+            rt.taskwait();
+            black_box(acc.load(Ordering::Relaxed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_shard_count(c: &mut Criterion) {
+    // How much does sharding the dependency graph matter under submission
+    // pressure? (the software analogue of the Fig. 7 task-graph-count sweep).
+    let mut group = c.benchmark_group("rt_shard_count");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(TASKS));
+    for shards in [1usize, 2, 6, 16] {
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                let rt = Runtime::with_shards(4, shards).unwrap();
+                for i in 0..TASKS {
+                    rt.submit(
+                        TaskSpec::new(move || {
+                            black_box(i);
+                        })
+                        .input((i % 97) * 64)
+                        .output((10_000 + i) * 64),
+                    );
+                }
+                rt.taskwait();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_independent_tasks,
+    bench_dependency_chains,
+    bench_shard_count
+);
+criterion_main!(benches);

@@ -1,0 +1,473 @@
+//! The worker-pool runtime.
+
+use crate::shard::ShardedGraph;
+use crate::task::{AccessMode, TaskSpec};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use nexus_trace::TaskId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One in-flight task.
+struct TaskState {
+    id: TaskId,
+    body: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    accesses: Vec<(u64, AccessMode)>,
+    /// Unresolved dependencies plus a submission guard; the task is dispatched
+    /// when this reaches zero.
+    pending: AtomicU32,
+    /// Set once the task body has finished and its accesses were retired.
+    done: AtomicBool,
+}
+
+enum WorkerMsg {
+    Run(Arc<TaskState>),
+    Stop,
+}
+
+/// Aggregate runtime statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tasks submitted since creation.
+    pub submitted: u64,
+    /// Tasks fully executed and retired.
+    pub executed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Dependency shards (the "task graphs" of the software design).
+    pub shards: usize,
+    /// Largest number of tasks ever found waiting on a single resource key.
+    pub max_waiters_on_a_key: usize,
+}
+
+struct Inner {
+    graph: ShardedGraph,
+    ready_tx: Sender<WorkerMsg>,
+    /// In-flight task registry (needed to resolve released task ids).
+    registry: Mutex<HashMap<TaskId, Arc<TaskState>>>,
+    /// Most recent writer of each key (for `taskwait on`).
+    last_writer: Mutex<HashMap<u64, Arc<TaskState>>>,
+    /// Outstanding (submitted, not yet retired) task count, guarded for the
+    /// barrier condition variable.
+    outstanding: Mutex<u64>,
+    completion: Condvar,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    executed: AtomicU64,
+}
+
+impl Inner {
+    fn execute(&self, task: Arc<TaskState>) {
+        // Run the body.
+        let body = task
+            .body
+            .lock()
+            .take()
+            .expect("a task body can only be executed once");
+        body();
+
+        // Retire every access and kick off released tasks (the role of the
+        // finished-task pipeline + arbiter decrements).
+        for &(key, mode) in &task.accesses {
+            for released in self.graph.retire(task.id, key, mode) {
+                let state = {
+                    let registry = self.registry.lock();
+                    registry
+                        .get(&released)
+                        .cloned()
+                        .expect("released task must be in flight")
+                };
+                if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    self.ready_tx
+                        .send(WorkerMsg::Run(state))
+                        .expect("worker channel closed while tasks in flight");
+                }
+            }
+        }
+
+        task.done.store(true, Ordering::Release);
+        self.registry.lock().remove(&task.id);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+
+        let mut outstanding = self.outstanding.lock();
+        *outstanding -= 1;
+        self.completion.notify_all();
+    }
+}
+
+/// A task-parallel runtime with Nexus#-style sharded dependency resolution.
+///
+/// See the crate-level documentation for an example.
+pub struct Runtime {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    ready_rx: Receiver<WorkerMsg>,
+}
+
+impl Runtime {
+    /// Creates a runtime with `workers` worker threads and the default shard
+    /// count (six, the configuration the paper selects).
+    pub fn new(workers: usize) -> Result<Self, String> {
+        Self::with_shards(workers, 6)
+    }
+
+    /// Creates a runtime with explicit worker and shard counts.
+    pub fn with_shards(workers: usize, shards: usize) -> Result<Self, String> {
+        if workers == 0 {
+            return Err("worker count must be non-zero".into());
+        }
+        if shards == 0 || shards > 32 {
+            return Err("shard count must be in 1..=32".into());
+        }
+        let (ready_tx, ready_rx) = unbounded();
+        let inner = Arc::new(Inner {
+            graph: ShardedGraph::new(shards),
+            ready_tx,
+            registry: Mutex::new(HashMap::new()),
+            last_writer: Mutex::new(HashMap::new()),
+            outstanding: Mutex::new(0),
+            completion: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        });
+
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let inner = Arc::clone(&inner);
+            let rx = ready_rx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("nexus-rt-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                WorkerMsg::Run(task) => inner.execute(task),
+                                WorkerMsg::Stop => break,
+                            }
+                        }
+                    })
+                    .map_err(|e| format!("failed to spawn worker: {e}"))?,
+            );
+        }
+
+        Ok(Runtime {
+            inner,
+            workers: handles,
+            ready_rx,
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a task; returns its id. The task runs as soon as every earlier
+    /// task it conflicts with (per its declared footprint) has finished.
+    pub fn submit(&self, mut spec: TaskSpec) -> TaskId {
+        spec.normalize();
+        let id = TaskId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+
+        let state = Arc::new(TaskState {
+            id,
+            body: Mutex::new(Some(spec.body)),
+            accesses: spec.accesses,
+            pending: AtomicU32::new(1), // submission guard
+            done: AtomicBool::new(false),
+        });
+
+        {
+            let mut outstanding = self.inner.outstanding.lock();
+            *outstanding += 1;
+        }
+        self.inner.registry.lock().insert(id, Arc::clone(&state));
+
+        for &(key, mode) in &state.accesses {
+            if mode.writes() {
+                self.inner.last_writer.lock().insert(key, Arc::clone(&state));
+            }
+            // Optimistically count the dependency before asking the graph, so a
+            // concurrent release can never drive `pending` to zero early.
+            state.pending.fetch_add(1, Ordering::AcqRel);
+            let blocked = self.inner.graph.insert(id, key, mode).blocked;
+            if !blocked {
+                state.pending.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+
+        // Drop the submission guard; dispatch if nothing blocks the task.
+        if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.inner
+                .ready_tx
+                .send(WorkerMsg::Run(state))
+                .expect("worker channel closed");
+        }
+        id
+    }
+
+    /// `#pragma omp taskwait`: blocks until every submitted task has finished.
+    /// Must not be called from inside a task body.
+    pub fn taskwait(&self) {
+        let mut outstanding = self.inner.outstanding.lock();
+        while *outstanding > 0 {
+            self.inner.completion.wait(&mut outstanding);
+        }
+    }
+
+    /// `#pragma omp taskwait on(key)`: blocks until the most recently submitted
+    /// writer of `key` (if any) has finished.
+    pub fn taskwait_on(&self, key: u64) {
+        let target = self.inner.last_writer.lock().get(&key).cloned();
+        let Some(state) = target else { return };
+        let mut outstanding = self.inner.outstanding.lock();
+        while !state.done.load(Ordering::Acquire) {
+            self.inner.completion.wait(&mut outstanding);
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            executed: self.inner.executed.load(Ordering::Relaxed),
+            workers: self.workers.len(),
+            shards: self.inner.graph.shards(),
+            max_waiters_on_a_key: self.inner.graph.max_kickoff_len(),
+        }
+    }
+
+    /// Waits for outstanding work and stops the worker threads. Called
+    /// automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.taskwait();
+        for _ in 0..self.workers.len() {
+            let _ = self.inner.ready_tx.send(WorkerMsg::Stop);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Drain any leftover stop messages so repeated shutdowns are harmless.
+        while self.ready_rx.try_recv().is_ok() {}
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let rt = Runtime::new(4).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..200u64 {
+            let counter = Arc::clone(&counter);
+            rt.submit(
+                TaskSpec::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+                .output(i * 64),
+            );
+        }
+        rt.taskwait();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        let stats = rt.stats();
+        assert_eq!(stats.submitted, 200);
+        assert_eq!(stats.executed, 200);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.shards, 6);
+    }
+
+    #[test]
+    fn chains_preserve_program_order() {
+        let rt = Runtime::with_shards(8, 4).unwrap();
+        // 16 independent chains; within each chain, tasks must observe strictly
+        // increasing sequence numbers.
+        let chains: Vec<Arc<Mutex<Vec<u32>>>> =
+            (0..16).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        for step in 0..50u32 {
+            for (c, log) in chains.iter().enumerate() {
+                let log = Arc::clone(log);
+                rt.submit(
+                    TaskSpec::new(move || {
+                        log.lock().push(step);
+                    })
+                    .inout(c as u64),
+                );
+            }
+        }
+        rt.taskwait();
+        for log in &chains {
+            let v = log.lock();
+            assert_eq!(v.len(), 50);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "chain ran out of order");
+        }
+    }
+
+    #[test]
+    fn readers_wait_for_writer_and_writer_waits_for_readers() {
+        let rt = Runtime::new(4).unwrap();
+        let value = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::new(Mutex::new(Vec::new()));
+
+        // Producer writes 42.
+        {
+            let value = Arc::clone(&value);
+            rt.submit(
+                TaskSpec::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    value.store(42, Ordering::SeqCst);
+                })
+                .output(0x100),
+            );
+        }
+        // Readers must see 42.
+        for _ in 0..8 {
+            let value = Arc::clone(&value);
+            let observed = Arc::clone(&observed);
+            rt.submit(
+                TaskSpec::new(move || {
+                    observed.lock().push(value.load(Ordering::SeqCst));
+                })
+                .input(0x100),
+            );
+        }
+        // A final writer must run after all readers.
+        {
+            let value = Arc::clone(&value);
+            rt.submit(
+                TaskSpec::new(move || {
+                    value.store(7, Ordering::SeqCst);
+                })
+                .inout(0x100),
+            );
+        }
+        rt.taskwait();
+        let seen = observed.lock();
+        assert_eq!(seen.len(), 8);
+        assert!(seen.iter().all(|&v| v == 42), "a reader overtook the producer: {seen:?}");
+        assert_eq!(value.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn wavefront_computation_matches_sequential_result() {
+        // Dynamic-programming wavefront (Listing 1 shape): cell = left + upright + 1.
+        const R: usize = 12;
+        const C: usize = 16;
+        let rt = Runtime::with_shards(6, 6).unwrap();
+        let grid: Arc<Vec<AtomicU64>> =
+            Arc::new((0..R * C).map(|_| AtomicU64::new(0)).collect());
+        let key = |r: usize, c: usize| (r * C + c) as u64 * 64;
+
+        for r in 0..R {
+            for c in 0..C {
+                let grid = Arc::clone(&grid);
+                let mut spec = TaskSpec::new(move || {
+                    let left = if c > 0 { grid[r * C + c - 1].load(Ordering::SeqCst) } else { 0 };
+                    let upright = if r > 0 && c + 1 < C {
+                        grid[(r - 1) * C + c + 1].load(Ordering::SeqCst)
+                    } else {
+                        0
+                    };
+                    grid[r * C + c].store(left + upright + 1, Ordering::SeqCst);
+                })
+                .inout(key(r, c));
+                if c > 0 {
+                    spec = spec.input(key(r, c - 1));
+                }
+                if r > 0 && c + 1 < C {
+                    spec = spec.input(key(r - 1, c + 1));
+                }
+                rt.submit(spec);
+            }
+        }
+        rt.taskwait();
+
+        // Sequential reference.
+        let mut reference = vec![0u64; R * C];
+        for r in 0..R {
+            for c in 0..C {
+                let left = if c > 0 { reference[r * C + c - 1] } else { 0 };
+                let upright = if r > 0 && c + 1 < C { reference[(r - 1) * C + c + 1] } else { 0 };
+                reference[r * C + c] = left + upright + 1;
+            }
+        }
+        for i in 0..R * C {
+            assert_eq!(grid[i].load(Ordering::SeqCst), reference[i], "cell {i}");
+        }
+        assert!(rt.stats().max_waiters_on_a_key <= R * C);
+    }
+
+    #[test]
+    fn taskwait_on_waits_for_the_named_key_only() {
+        let rt = Runtime::new(2).unwrap();
+        let fast_done = Arc::new(AtomicBool::new(false));
+        let slow_done = Arc::new(AtomicBool::new(false));
+        {
+            let slow_done = Arc::clone(&slow_done);
+            rt.submit(
+                TaskSpec::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(150));
+                    slow_done.store(true, Ordering::SeqCst);
+                })
+                .output(0xA),
+            );
+        }
+        {
+            let fast_done = Arc::clone(&fast_done);
+            rt.submit(
+                TaskSpec::new(move || {
+                    fast_done.store(true, Ordering::SeqCst);
+                })
+                .output(0xB),
+            );
+        }
+        rt.taskwait_on(0xB);
+        assert!(fast_done.load(Ordering::SeqCst));
+        // Waiting on an unknown key returns immediately.
+        rt.taskwait_on(0xDEAD);
+        rt.taskwait();
+        assert!(slow_done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(Runtime::new(0).is_err());
+        assert!(Runtime::with_shards(2, 0).is_err());
+        assert!(Runtime::with_shards(2, 64).is_err());
+    }
+
+    #[test]
+    fn explicit_shutdown_and_drop_are_both_clean() {
+        let rt = Runtime::new(2).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..10u64 {
+            let counter = Arc::clone(&counter);
+            rt.submit(TaskSpec::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }).inout(i));
+        }
+        rt.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+        // Dropping a fresh runtime without work is also fine.
+        let rt2 = Runtime::new(1).unwrap();
+        drop(rt2);
+    }
+}

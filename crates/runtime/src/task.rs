@@ -1,0 +1,159 @@
+//! Task specifications: a closure plus its declared data footprint.
+
+use nexus_trace::Direction;
+
+/// How a task accesses a resource key (mirrors the OmpSs clauses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// `input(...)` — read-only access.
+    Read,
+    /// `output(...)` — write access that does not read the previous value.
+    Write,
+    /// `inout(...)` — read-modify-write access.
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// The trace-model direction equivalent.
+    pub(crate) fn direction(self) -> Direction {
+        match self {
+            AccessMode::Read => Direction::In,
+            AccessMode::Write => Direction::Out,
+            AccessMode::ReadWrite => Direction::InOut,
+        }
+    }
+
+    /// True if the access writes the resource.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
+    }
+}
+
+/// A task to be submitted to the [`crate::Runtime`]: a closure plus the list of
+/// resource keys it reads and writes.
+pub struct TaskSpec {
+    pub(crate) body: Box<dyn FnOnce() + Send + 'static>,
+    pub(crate) accesses: Vec<(u64, AccessMode)>,
+}
+
+impl TaskSpec {
+    /// Creates a task from a closure. Declare its footprint with
+    /// [`TaskSpec::input`] / [`TaskSpec::output`] / [`TaskSpec::inout`].
+    pub fn new(body: impl FnOnce() + Send + 'static) -> Self {
+        TaskSpec {
+            body: Box::new(body),
+            accesses: Vec::new(),
+        }
+    }
+
+    /// Declares a read-only dependency on `key`.
+    pub fn input(mut self, key: u64) -> Self {
+        self.accesses.push((key, AccessMode::Read));
+        self
+    }
+
+    /// Declares a write dependency on `key`.
+    pub fn output(mut self, key: u64) -> Self {
+        self.accesses.push((key, AccessMode::Write));
+        self
+    }
+
+    /// Declares a read-write dependency on `key`.
+    pub fn inout(mut self, key: u64) -> Self {
+        self.accesses.push((key, AccessMode::ReadWrite));
+        self
+    }
+
+    /// Declares several read-only dependencies.
+    pub fn inputs(mut self, keys: &[u64]) -> Self {
+        for &k in keys {
+            self.accesses.push((k, AccessMode::Read));
+        }
+        self
+    }
+
+    /// Declares several write dependencies.
+    pub fn outputs(mut self, keys: &[u64]) -> Self {
+        for &k in keys {
+            self.accesses.push((k, AccessMode::Write));
+        }
+        self
+    }
+
+    /// Number of declared accesses.
+    pub fn num_accesses(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Removes duplicate keys, merging their access modes (a key that is both
+    /// read and written becomes `ReadWrite`). Called automatically at submit.
+    pub(crate) fn normalize(&mut self) {
+        use std::collections::HashMap;
+        if self.accesses.len() < 2 {
+            return;
+        }
+        let mut merged: HashMap<u64, AccessMode> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        for (key, mode) in self.accesses.drain(..) {
+            match merged.get_mut(&key) {
+                None => {
+                    merged.insert(key, mode);
+                    order.push(key);
+                }
+                Some(existing) => {
+                    let reads = matches!(*existing, AccessMode::Read | AccessMode::ReadWrite)
+                        || matches!(mode, AccessMode::Read | AccessMode::ReadWrite);
+                    let writes = existing.writes() || mode.writes();
+                    *existing = match (reads, writes) {
+                        (_, false) => AccessMode::Read,
+                        (false, true) => AccessMode::Write,
+                        (true, true) => AccessMode::ReadWrite,
+                    };
+                }
+            }
+        }
+        self.accesses = order.into_iter().map(|k| (k, merged[&k])).collect();
+    }
+}
+
+impl std::fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("accesses", &self.accesses)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_accesses() {
+        let spec = TaskSpec::new(|| {})
+            .input(1)
+            .output(2)
+            .inout(3)
+            .inputs(&[4, 5]);
+        assert_eq!(spec.num_accesses(), 5);
+        assert!(AccessMode::Write.writes());
+        assert!(!AccessMode::Read.writes());
+        assert!(format!("{spec:?}").contains("accesses"));
+    }
+
+    #[test]
+    fn normalize_merges_duplicates() {
+        let mut spec = TaskSpec::new(|| {}).input(7).output(7).input(9);
+        spec.normalize();
+        assert_eq!(spec.num_accesses(), 2);
+        assert_eq!(spec.accesses[0], (7, AccessMode::ReadWrite));
+        assert_eq!(spec.accesses[1], (9, AccessMode::Read));
+    }
+
+    #[test]
+    fn access_mode_direction_mapping() {
+        assert_eq!(AccessMode::Read.direction(), Direction::In);
+        assert_eq!(AccessMode::Write.direction(), Direction::Out);
+        assert_eq!(AccessMode::ReadWrite.direction(), Direction::InOut);
+    }
+}

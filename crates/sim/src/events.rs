@@ -1,0 +1,149 @@
+//! Time-ordered event queue.
+//!
+//! The multicore host simulation (`nexus-host`) is driven by a classical
+//! discrete-event loop: worker-core completions, manager ready notifications and
+//! master wake-ups are all [`TimedEvent`]s popped in timestamp order. Ties are
+//! broken by insertion sequence so the simulation is fully deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+pub struct TimedEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic sequence number used as a deterministic tie-breaker.
+    pub seq: u64,
+    /// The payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for TimedEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for TimedEvent<E> {}
+
+impl<E> PartialOrd for TimedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for TimedEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of events keyed by simulated time.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<TimedEvent<E>>,
+    next_seq: u64,
+    scheduled: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(TimedEvent { time, seq, payload });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<TimedEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(v: u64) -> SimTime {
+        SimTime::from_ps(v)
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(30), "c");
+        q.schedule(at(10), "a");
+        q.schedule(at(20), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(at(10)));
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.total_scheduled(), 3);
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(at(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let expected: Vec<_> = (0..100).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(at(10), 1);
+        q.schedule(at(5), 0);
+        assert_eq!(q.pop().unwrap().payload, 0);
+        q.schedule(at(7), 2);
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.pop().unwrap().payload, 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Bounded FIFOs with a forwarding latency.
+//!
+//! The paper uses FIFO lists as the decoupling/synchronization medium between
+//! every pair of pipeline stages ("Data communication between the different
+//! stages are done using FIFOs lists … the data written to them needs 3 cycles
+//! to appear at their output"). [`LatencyFifo`] models exactly that: a bounded
+//! queue where an element pushed at time `t` becomes visible to the consumer at
+//! `t + latency`, and where a full queue back-pressures the producer until the
+//! consumer pops.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A bounded FIFO whose entries become visible `latency` after being pushed.
+#[derive(Debug, Clone)]
+pub struct LatencyFifo<T> {
+    /// (time the entry becomes readable, payload)
+    entries: VecDeque<(SimTime, T)>,
+    capacity: usize,
+    latency: SimDuration,
+    /// Statistics: maximum occupancy observed and number of pushes that stalled.
+    max_occupancy: usize,
+    stalled_pushes: u64,
+    total_pushes: u64,
+}
+
+impl<T> LatencyFifo<T> {
+    /// Creates a FIFO with the given capacity (entries) and forwarding latency.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, latency: SimDuration) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be at least 1");
+        LatencyFifo {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            latency,
+            max_occupancy: 0,
+            stalled_pushes: 0,
+            total_pushes: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Forwarding latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Current occupancy (including entries not yet visible at the output).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if the FIFO has no free slot.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Pushes a value at time `now`. Returns the time at which the value will be
+    /// readable at the output (`now + latency`), or `Err(value)` if the FIFO is
+    /// full (the caller must retry after popping — i.e. the producer stalls).
+    pub fn push(&mut self, now: SimTime, value: T) -> Result<SimTime, T> {
+        self.total_pushes += 1;
+        if self.is_full() {
+            self.stalled_pushes += 1;
+            return Err(value);
+        }
+        let ready = now + self.latency;
+        self.entries.push_back((ready, value));
+        self.max_occupancy = self.max_occupancy.max(self.entries.len());
+        Ok(ready)
+    }
+
+    /// Time at which the head entry becomes readable, if any.
+    pub fn head_ready_at(&self) -> Option<SimTime> {
+        self.entries.front().map(|(t, _)| *t)
+    }
+
+    /// Pops the head entry if it is readable at `now`.
+    pub fn pop_ready(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        match self.entries.front() {
+            Some((ready, _)) if *ready <= now => self.entries.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Pops the head entry regardless of visibility, returning the time it
+    /// becomes readable. Useful for schedule-ahead simulation styles where the
+    /// consumer simply waits until the returned time.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.entries.pop_front()
+    }
+
+    /// Iterates over queued entries in FIFO order (readable-time, payload).
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, T)> {
+        self.entries.iter()
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Number of pushes rejected because the FIFO was full.
+    pub fn stalled_pushes(&self) -> u64 {
+        self.stalled_pushes
+    }
+
+    /// Total number of push attempts.
+    pub fn total_pushes(&self) -> u64 {
+        self.total_pushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> SimDuration {
+        SimDuration::from_ns(v)
+    }
+    fn at(v: u64) -> SimTime {
+        SimTime::from_ps(v * 1000)
+    }
+
+    #[test]
+    fn entries_become_visible_after_latency() {
+        let mut f = LatencyFifo::new(4, ns(3));
+        let ready = f.push(at(10), "a").unwrap();
+        assert_eq!(ready, at(13));
+        // Not yet visible.
+        assert!(f.pop_ready(at(12)).is_none());
+        let (t, v) = f.pop_ready(at(13)).unwrap();
+        assert_eq!((t, v), (at(13), "a"));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn order_is_fifo() {
+        let mut f = LatencyFifo::new(4, ns(0));
+        f.push(at(0), 1).unwrap();
+        f.push(at(1), 2).unwrap();
+        f.push(at(2), 3).unwrap();
+        assert_eq!(f.pop_ready(at(10)).unwrap().1, 1);
+        assert_eq!(f.pop_ready(at(10)).unwrap().1, 2);
+        assert_eq!(f.pop_ready(at(10)).unwrap().1, 3);
+    }
+
+    #[test]
+    fn full_fifo_back_pressures() {
+        let mut f = LatencyFifo::new(2, ns(1));
+        f.push(at(0), 1).unwrap();
+        f.push(at(0), 2).unwrap();
+        assert!(f.is_full());
+        let rejected = f.push(at(0), 3);
+        assert_eq!(rejected.unwrap_err(), 3);
+        assert_eq!(f.stalled_pushes(), 1);
+        // Draining frees a slot.
+        f.pop();
+        assert!(f.push(at(5), 3).is_ok());
+        assert_eq!(f.max_occupancy(), 2);
+        assert_eq!(f.total_pushes(), 4);
+    }
+
+    #[test]
+    fn head_ready_at_reports_visibility_time() {
+        let mut f = LatencyFifo::new(2, ns(3));
+        assert!(f.head_ready_at().is_none());
+        f.push(at(7), 42).unwrap();
+        assert_eq!(f.head_ready_at(), Some(at(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _: LatencyFifo<u8> = LatencyFifo::new(0, ns(1));
+    }
+}

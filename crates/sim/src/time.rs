@@ -1,0 +1,367 @@
+//! Simulated time.
+//!
+//! All simulated timestamps are kept in **picoseconds** stored in a `u64`.
+//! Picosecond resolution lets us represent single cycles of the slowest clock in
+//! the paper (41.66 MHz → 24 000 ps) and of worker cores exactly, while a `u64`
+//! still covers more than 200 days of simulated time — far beyond the longest
+//! benchmark (streamcluster, ~238 s of aggregate work).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of picoseconds in one nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Number of picoseconds in one microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Number of picoseconds in one millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Number of picoseconds in one second.
+pub const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// A span of simulated time (picosecond resolution).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * PS_PER_NS)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * PS_PER_US)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * PS_PER_MS)
+    }
+
+    /// Creates a duration from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * PS_PER_S)
+    }
+
+    /// Creates a duration from a floating-point number of microseconds,
+    /// rounding to the nearest picosecond. Negative values clamp to zero.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Self {
+        if us <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration((us * PS_PER_US as f64).round() as u64)
+        }
+    }
+
+    /// Creates a duration from a floating-point number of nanoseconds,
+    /// rounding to the nearest picosecond. Negative values clamp to zero.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        if ns <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration((ns * PS_PER_NS as f64).round() as u64)
+        }
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Duration expressed in (truncated) nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+
+    /// Duration expressed as floating-point microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Duration expressed as floating-point milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Duration expressed as floating-point seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= PS_PER_S {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= PS_PER_MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if ps >= PS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if ps >= PS_PER_NS {
+            write!(f, "{}ns", self.as_ns())
+        } else {
+            write!(f, "{}ps", ps)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+/// An absolute point in simulated time (picoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation origin, t = 0.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "unscheduled" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a timestamp from raw picoseconds since simulation start.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Raw picosecond count since simulation start.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Timestamp in floating-point microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Timestamp in floating-point milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Timestamp in floating-point seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Elapsed duration since `earlier`. Panics in debug builds if `earlier`
+    /// is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= earlier.0, "SimTime::since: earlier is later");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Elapsed duration since `earlier`, clamped at zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", SimDuration(self.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_are_consistent() {
+        assert_eq!(SimDuration::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimDuration::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimDuration::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_ps(), PS_PER_S);
+        assert_eq!(SimDuration::from_us(3).as_us_f64(), 3.0);
+    }
+
+    #[test]
+    fn duration_from_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_us_f64(1.5).as_ps(), 1_500_000);
+        assert_eq!(SimDuration::from_us_f64(-2.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_ns_f64(0.5).as_ps(), 500);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_ns(10);
+        let t2 = t1 + SimDuration::from_ns(5);
+        assert_eq!(t2.since(t0), SimDuration::from_ns(15));
+        assert_eq!(t2 - t1, SimDuration::from_ns(5));
+        assert_eq!(t1.max(t2), t2);
+        assert_eq!(t1.min(t2), t1);
+        assert_eq!(t0.saturating_since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_ns(7);
+        assert_eq!((d * 3).as_ps(), 21_000);
+        assert_eq!((d / 7).as_ps(), 1_000);
+        let total: SimDuration = (0..4).map(|_| SimDuration::from_ns(2)).sum();
+        assert_eq!(total, SimDuration::from_ns(8));
+    }
+
+    #[test]
+    fn display_formats_pick_sensible_units() {
+        assert_eq!(format!("{}", SimDuration::from_ps(12)), "12ps");
+        assert_eq!(format!("{}", SimDuration::from_ns(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_us(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_ms(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn streamcluster_scale_fits() {
+        // 238 seconds of aggregate work must be representable with slack.
+        let total = SimDuration::from_ms(237_908);
+        assert!(total.as_ps() < u64::MAX / 1000);
+    }
+}

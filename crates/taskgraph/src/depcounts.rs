@@ -1,0 +1,198 @@
+//! The Dependence Counts table.
+//!
+//! The Dependence Counts Arbiter of Nexus# gathers, for every inserted task,
+//! the number of kick-off lists it was added to across all task graphs, and
+//! stores tasks that are not yet ready in "the global Dep. Counts Table"
+//! (§IV-C). When finished tasks kick off waiters, the arbiter decrements their
+//! counts "one by one, and decides accordingly whether they are ready to run,
+//! or not yet".
+//!
+//! [`DepCountsTable`] is that table: per-task outstanding dependence counters
+//! with add/decrement operations, plus a pending-parameter counter used during
+//! the scatter-gather phase (a task is only decided once *all* its parameters
+//! have been processed by their task graphs — the role of the Sim(-ultaneous)
+//! Tasks Dep. Counts Buffer).
+
+use nexus_trace::TaskId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-task gathering state while its parameters are being processed and while
+/// it waits for its dependencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    /// Parameters not yet processed by their task graph.
+    pending_params: u32,
+    /// Unresolved dependencies (kick-off lists the task sits in).
+    deps: u32,
+}
+
+/// Statistics of the dependence-counts table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepCountsStats {
+    /// Tasks tracked.
+    pub tasks: u64,
+    /// Tasks that were ready as soon as their last parameter was processed.
+    pub ready_at_gather: u64,
+    /// Peak number of simultaneously tracked tasks.
+    pub peak_tracked: usize,
+}
+
+/// The global dependence-counts table of the arbiter.
+#[derive(Debug, Clone, Default)]
+pub struct DepCountsTable {
+    entries: HashMap<TaskId, Entry>,
+    stats: DepCountsStats,
+}
+
+impl DepCountsTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DepCountsStats {
+        self.stats
+    }
+
+    /// Number of tasks currently tracked (parameters outstanding or waiting).
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Registers a task that will have `num_params` parameters processed.
+    pub fn begin_task(&mut self, task: TaskId, num_params: u32) {
+        debug_assert!(num_params > 0, "a task must have at least one parameter");
+        debug_assert!(
+            !self.entries.contains_key(&task),
+            "{task} registered twice in the dependence-counts table"
+        );
+        self.stats.tasks += 1;
+        self.entries.insert(
+            task,
+            Entry {
+                pending_params: num_params,
+                deps: 0,
+            },
+        );
+        self.stats.peak_tracked = self.stats.peak_tracked.max(self.entries.len());
+    }
+
+    /// Records the arbiter gathering the result of one parameter insertion:
+    /// `blocked` tells whether that parameter landed in a kick-off list.
+    /// Returns `Some(ready)` when this was the task's last outstanding
+    /// parameter — `ready` is true if the task ended up with zero dependencies
+    /// (and is removed from the table); otherwise it stays tracked.
+    pub fn param_processed(&mut self, task: TaskId, blocked: bool) -> Option<bool> {
+        let e = self
+            .entries
+            .get_mut(&task)
+            .expect("param_processed for unregistered task");
+        debug_assert!(e.pending_params > 0);
+        e.pending_params -= 1;
+        if blocked {
+            e.deps += 1;
+        }
+        if e.pending_params == 0 {
+            let ready = e.deps == 0;
+            if ready {
+                self.stats.ready_at_gather += 1;
+                self.entries.remove(&task);
+            }
+            Some(ready)
+        } else {
+            None
+        }
+    }
+
+    /// Decrements the dependence count of a waiting task (one of its kick-off
+    /// list entries was released). Returns `true` if the task became ready
+    /// (it is then removed from the table). Decrements received while
+    /// parameters are still being gathered simply lower the running count.
+    pub fn release_one(&mut self, task: TaskId) -> bool {
+        let e = self
+            .entries
+            .get_mut(&task)
+            .expect("release_one for unknown task");
+        debug_assert!(e.deps > 0, "{task} released more times than it was blocked");
+        e.deps -= 1;
+        if e.deps == 0 && e.pending_params == 0 {
+            self.entries.remove(&task);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current outstanding dependence count (`None` if the task is not tracked).
+    pub fn deps(&self, task: TaskId) -> Option<u32> {
+        self.entries.get(&task).map(|e| e.deps)
+    }
+
+    /// Parameters still to be gathered for a task (`None` if not tracked).
+    pub fn pending_params(&self, task: TaskId) -> Option<u32> {
+        self.entries.get(&task).map(|e| e.pending_params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64) -> TaskId {
+        TaskId(id)
+    }
+
+    #[test]
+    fn ready_task_is_decided_at_last_param() {
+        let mut table = DepCountsTable::new();
+        table.begin_task(t(0), 3);
+        assert_eq!(table.param_processed(t(0), false), None);
+        assert_eq!(table.param_processed(t(0), false), None);
+        assert_eq!(table.param_processed(t(0), false), Some(true));
+        assert_eq!(table.tracked(), 0);
+        assert_eq!(table.stats().ready_at_gather, 1);
+    }
+
+    #[test]
+    fn blocked_task_waits_for_releases() {
+        let mut table = DepCountsTable::new();
+        table.begin_task(t(1), 2);
+        assert_eq!(table.param_processed(t(1), true), None);
+        assert_eq!(table.param_processed(t(1), true), Some(false));
+        assert_eq!(table.deps(t(1)), Some(2));
+        assert!(!table.release_one(t(1)));
+        assert!(table.release_one(t(1)));
+        assert_eq!(table.tracked(), 0);
+    }
+
+    #[test]
+    fn early_release_during_gather_is_handled() {
+        // A task graph may kick off a waiting parameter before the arbiter has
+        // gathered the task's remaining parameters (out-of-order completion of
+        // the scatter phase).
+        let mut table = DepCountsTable::new();
+        table.begin_task(t(2), 2);
+        assert_eq!(table.param_processed(t(2), true), None);
+        // The blocker retires before the second parameter is gathered.
+        assert!(!table.release_one(t(2)));
+        // Second parameter not blocked: the task is ready at gather completion.
+        assert_eq!(table.param_processed(t(2), false), Some(true));
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut table = DepCountsTable::new();
+        for i in 0..10 {
+            table.begin_task(t(i), 1);
+            table.param_processed(t(i), true);
+        }
+        assert_eq!(table.stats().peak_tracked, 10);
+        assert_eq!(table.pending_params(t(3)), Some(0));
+        for i in 0..10 {
+            assert!(table.release_one(t(i)));
+        }
+        assert_eq!(table.tracked(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Kick-off lists: per-address lists of waiting tasks.
+//!
+//! "Each one of the task graphs … uses the same set-associative data structure
+//! to maintain a Kick-Off List for each incoming memory address" (§IV-C).
+//! A kick-off list entry in the VHDL design is a fixed-size segment; when more
+//! tasks wait on an address than a segment can hold, an additional *dummy entry*
+//! is chained (validated by the Gaussian-elimination benchmark, where the first
+//! pivot row is awaited by `n − 1` tasks). Traversing extra segments costs extra
+//! cycles, which the timing models account for via [`KickOffList::segments`].
+
+use nexus_trace::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Number of waiter slots per hardware segment (per dummy entry).
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 8;
+
+/// A per-address list of waiting tasks with segment accounting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KickOffList {
+    waiters: Vec<TaskId>,
+    segment_capacity: usize,
+    /// Highest number of segments this list ever needed.
+    max_segments: usize,
+}
+
+impl KickOffList {
+    /// Creates an empty list with the default segment capacity.
+    pub fn new() -> Self {
+        Self::with_segment_capacity(DEFAULT_SEGMENT_CAPACITY)
+    }
+
+    /// Creates an empty list with a specific segment capacity.
+    ///
+    /// # Panics
+    /// Panics if `segment_capacity` is zero.
+    pub fn with_segment_capacity(segment_capacity: usize) -> Self {
+        assert!(segment_capacity > 0, "segment capacity must be non-zero");
+        KickOffList {
+            waiters: Vec::new(),
+            segment_capacity,
+            max_segments: 0,
+        }
+    }
+
+    /// Appends a waiting task. Returns the (1-based) segment index the waiter
+    /// landed in, which the timing models translate into chaining cycles.
+    pub fn push(&mut self, task: TaskId) -> usize {
+        self.waiters.push(task);
+        let seg = self.segments();
+        self.max_segments = self.max_segments.max(seg);
+        seg
+    }
+
+    /// Number of waiting tasks.
+    pub fn len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// True if no task is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+
+    /// Number of hardware segments currently needed to hold the waiters
+    /// (0 if the list is empty).
+    pub fn segments(&self) -> usize {
+        self.waiters.len().div_ceil(self.segment_capacity)
+    }
+
+    /// Highest number of segments ever needed by this list.
+    pub fn max_segments(&self) -> usize {
+        self.max_segments
+    }
+
+    /// Segment capacity.
+    pub fn segment_capacity(&self) -> usize {
+        self.segment_capacity
+    }
+
+    /// Drains all waiters (used when the producer retires and the whole list is
+    /// kicked off).
+    pub fn drain(&mut self) -> Vec<TaskId> {
+        std::mem::take(&mut self.waiters)
+    }
+
+    /// Removes a specific waiter (used when a waiter is cancelled).
+    pub fn remove(&mut self, task: TaskId) -> bool {
+        if let Some(pos) = self.waiters.iter().position(|&t| t == task) {
+            self.waiters.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over the waiting tasks in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &TaskId> {
+        self.waiters.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_grow_with_waiters() {
+        let mut kol = KickOffList::with_segment_capacity(4);
+        assert_eq!(kol.segments(), 0);
+        for i in 0..4 {
+            assert_eq!(kol.push(TaskId(i)), 1);
+        }
+        assert_eq!(kol.segments(), 1);
+        assert_eq!(kol.push(TaskId(4)), 2, "fifth waiter chains a dummy entry");
+        assert_eq!(kol.len(), 5);
+        assert_eq!(kol.max_segments(), 2);
+        assert_eq!(kol.segment_capacity(), 4);
+    }
+
+    #[test]
+    fn drain_returns_waiters_in_order_and_empties() {
+        let mut kol = KickOffList::new();
+        for i in 0..10 {
+            kol.push(TaskId(i));
+        }
+        let drained = kol.drain();
+        assert_eq!(drained, (0..10).map(TaskId).collect::<Vec<_>>());
+        assert!(kol.is_empty());
+        assert_eq!(kol.segments(), 0);
+        // max_segments remembers the high-water mark.
+        assert_eq!(kol.max_segments(), 2);
+    }
+
+    #[test]
+    fn remove_specific_waiter() {
+        let mut kol = KickOffList::new();
+        kol.push(TaskId(1));
+        kol.push(TaskId(2));
+        kol.push(TaskId(3));
+        assert!(kol.remove(TaskId(2)));
+        assert!(!kol.remove(TaskId(99)));
+        let rest: Vec<_> = kol.iter().copied().collect();
+        assert_eq!(rest, vec![TaskId(1), TaskId(3)]);
+    }
+
+    #[test]
+    fn gaussian_scale_lists_are_supported() {
+        // The paper's point: no static limit. 2999 waiters on one pivot row.
+        let mut kol = KickOffList::new();
+        for i in 0..2999 {
+            kol.push(TaskId(i));
+        }
+        assert_eq!(kol.len(), 2999);
+        assert_eq!(kol.segments(), 2999usize.div_ceil(DEFAULT_SEGMENT_CAPACITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment capacity")]
+    fn zero_segment_capacity_rejected() {
+        let _ = KickOffList::with_segment_capacity(0);
+    }
+}

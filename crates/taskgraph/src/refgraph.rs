@@ -1,0 +1,356 @@
+//! A reference software dependency graph.
+//!
+//! [`ReferenceGraph`] implements OmpSs dependency semantics with the simplest
+//! possible bookkeeping (per-address last-writer / reader-set maps and explicit
+//! per-task predecessor sets). It has no capacity limits and no timing model.
+//! It serves three purposes:
+//!
+//! 1. **test oracle** — property tests check that [`crate::DependencyTracker`]
+//!    (and, transitively, both hardware manager models) release tasks in
+//!    exactly the same situations,
+//! 2. **software runtime model** — the Nanos cost model resolves dependencies
+//!    with this graph,
+//! 3. **trace analysis** — critical-path and parallelism profiling of the
+//!    generated workloads.
+
+use nexus_trace::{TaskDescriptor, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Per-address bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct AddrInfo {
+    /// Most recently submitted writer (retired or not).
+    last_writer: Option<TaskId>,
+    /// Tasks reading the current version since the last writer.
+    readers_since_write: Vec<TaskId>,
+}
+
+/// Statistics of a reference graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefGraphStats {
+    /// Tasks inserted.
+    pub tasks_inserted: u64,
+    /// Tasks that were immediately ready at insertion.
+    pub ready_at_insert: u64,
+    /// Tasks retired.
+    pub tasks_retired: u64,
+    /// Total number of direct dependency edges recorded.
+    pub edges: u64,
+}
+
+/// A software dependency graph with exact OmpSs semantics.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceGraph {
+    addr_info: HashMap<u64, AddrInfo>,
+    /// Unretired predecessors per live task.
+    blockers: HashMap<TaskId, HashSet<TaskId>>,
+    /// Dependents per live task (tasks that wait for it).
+    dependents: HashMap<TaskId, Vec<TaskId>>,
+    /// Tasks inserted but not retired.
+    live: HashSet<TaskId>,
+    /// Direct dependencies recorded at insertion time (including already
+    /// retired predecessors) — used for trace analysis.
+    direct_deps: HashMap<TaskId, Vec<TaskId>>,
+    stats: RefGraphStats,
+}
+
+impl ReferenceGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RefGraphStats {
+        self.stats
+    }
+
+    /// Number of tasks inserted but not yet retired.
+    pub fn live_tasks(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Inserts a task; returns `true` if it is immediately ready (no unretired
+    /// predecessors).
+    pub fn insert(&mut self, task: &TaskDescriptor) -> bool {
+        self.stats.tasks_inserted += 1;
+        let id = task.id;
+        let mut blockers: HashSet<TaskId> = HashSet::new();
+        let mut direct: HashSet<TaskId> = HashSet::new();
+
+        for p in &task.params {
+            let info = self.addr_info.entry(p.addr).or_default();
+            if p.dir.writes() {
+                // WAW on the last writer, WAR on every reader since it.
+                if let Some(w) = info.last_writer {
+                    direct.insert(w);
+                    if self.live.contains(&w) {
+                        blockers.insert(w);
+                    }
+                }
+                for &r in &info.readers_since_write {
+                    if r != id {
+                        direct.insert(r);
+                        if self.live.contains(&r) {
+                            blockers.insert(r);
+                        }
+                    }
+                }
+                info.last_writer = Some(id);
+                info.readers_since_write.clear();
+                if p.dir.reads() {
+                    // An inout also reads the previous version, but the RAW edge
+                    // is already covered by the WAW edge on the last writer.
+                }
+            } else {
+                // RAW on the last writer.
+                if let Some(w) = info.last_writer {
+                    direct.insert(w);
+                    if self.live.contains(&w) {
+                        blockers.insert(w);
+                    }
+                }
+                info.readers_since_write.push(id);
+            }
+        }
+
+        self.stats.edges += direct.len() as u64;
+        let mut direct: Vec<TaskId> = direct.into_iter().collect();
+        direct.sort_unstable();
+        self.direct_deps.insert(id, direct);
+
+        self.live.insert(id);
+        for &b in &blockers {
+            self.dependents.entry(b).or_default().push(id);
+        }
+        let ready = blockers.is_empty();
+        if ready {
+            self.stats.ready_at_insert += 1;
+        } else {
+            self.blockers.insert(id, blockers);
+        }
+        ready
+    }
+
+    /// Retires a task; returns the tasks that become ready as a result,
+    /// in deterministic (id) order.
+    pub fn retire(&mut self, id: TaskId) -> Vec<TaskId> {
+        self.stats.tasks_retired += 1;
+        debug_assert!(self.live.contains(&id), "retiring unknown or retired task {id}");
+        self.live.remove(&id);
+        let mut newly_ready = Vec::new();
+        if let Some(deps) = self.dependents.remove(&id) {
+            for d in deps {
+                if let Some(b) = self.blockers.get_mut(&d) {
+                    b.remove(&id);
+                    if b.is_empty() {
+                        self.blockers.remove(&d);
+                        newly_ready.push(d);
+                    }
+                }
+            }
+        }
+        newly_ready.sort_unstable();
+        newly_ready
+    }
+
+    /// Number of unretired predecessors of a live task (0 if ready or unknown).
+    pub fn blocker_count(&self, id: TaskId) -> usize {
+        self.blockers.get(&id).map(|b| b.len()).unwrap_or(0)
+    }
+
+    /// True if the task was inserted and is currently ready to run (no
+    /// unretired predecessors) but not yet retired.
+    pub fn is_ready(&self, id: TaskId) -> bool {
+        self.live.contains(&id) && !self.blockers.contains_key(&id)
+    }
+
+    /// Direct dependencies recorded for a task (including retired ones).
+    pub fn direct_deps(&self, id: TaskId) -> Option<&[TaskId]> {
+        self.direct_deps.get(&id).map(|v| v.as_slice())
+    }
+
+    /// The most recently submitted writer of an address, if any (used to
+    /// resolve `taskwait on(addr)`).
+    pub fn last_writer(&self, addr: u64) -> Option<TaskId> {
+        self.addr_info.get(&addr).and_then(|i| i.last_writer)
+    }
+}
+
+/// Critical-path analysis of a whole trace: the longest chain of dependent
+/// tasks weighted by task duration, and the resulting maximum speedup
+/// (total work / critical path). Used to compute the "No Overhead" ideal
+/// curves' asymptotes and for workload validation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelismProfile {
+    /// Total work in microseconds.
+    pub total_work_us: f64,
+    /// Critical path length in microseconds (including barrier ordering).
+    pub critical_path_us: f64,
+}
+
+impl ParallelismProfile {
+    /// Average available parallelism (total work / critical path).
+    pub fn average_parallelism(&self) -> f64 {
+        if self.critical_path_us <= 0.0 {
+            0.0
+        } else {
+            self.total_work_us / self.critical_path_us
+        }
+    }
+
+    /// Computes the profile of a trace.
+    pub fn of(trace: &nexus_trace::Trace) -> Self {
+        use nexus_trace::TraceOp;
+        let mut graph = ReferenceGraph::new();
+        // Earliest completion time (in µs) of each retired-or-live task assuming
+        // unlimited cores and zero overhead.
+        let mut completion: HashMap<TaskId, f64> = HashMap::new();
+        let mut barrier_floor = 0.0_f64; // earliest start after the last taskwait
+        let mut max_completion = 0.0_f64;
+        let mut total = 0.0_f64;
+
+        for op in &trace.ops {
+            match op {
+                TraceOp::Submit(task) => {
+                    graph.insert(task);
+                    let dep_finish = graph
+                        .direct_deps(task.id)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(|d| completion.get(d).copied())
+                        .fold(0.0_f64, f64::max);
+                    let start = dep_finish.max(barrier_floor);
+                    let finish = start + task.duration.as_us_f64();
+                    completion.insert(task.id, finish);
+                    max_completion = max_completion.max(finish);
+                    total += task.duration.as_us_f64();
+                }
+                TraceOp::Taskwait => {
+                    barrier_floor = barrier_floor.max(max_completion);
+                }
+                TraceOp::TaskwaitOn(addr) => {
+                    if let Some(w) = graph.last_writer(*addr) {
+                        if let Some(&f) = completion.get(&w) {
+                            barrier_floor = barrier_floor.max(f);
+                        }
+                    }
+                }
+                TraceOp::MasterCompute(d) => {
+                    barrier_floor += d.as_us_f64();
+                }
+            }
+        }
+
+        ParallelismProfile {
+            total_work_us: total,
+            critical_path_us: max_completion.max(barrier_floor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_sim::SimDuration;
+    use nexus_trace::generators::micro;
+    use nexus_trace::TaskDescriptor;
+
+    fn task(id: u64, f: impl FnOnce(nexus_trace::task::TaskBuilder) -> nexus_trace::task::TaskBuilder) -> TaskDescriptor {
+        f(TaskDescriptor::builder(id).duration_us(1.0)).build()
+    }
+
+    #[test]
+    fn simple_raw_chain() {
+        let mut g = ReferenceGraph::new();
+        let t0 = task(0, |b| b.output(0xa));
+        let t1 = task(1, |b| b.input(0xa).output(0xb));
+        let t2 = task(2, |b| b.input(0xb));
+        assert!(g.insert(&t0));
+        assert!(!g.insert(&t1));
+        assert!(!g.insert(&t2));
+        assert_eq!(g.blocker_count(TaskId(1)), 1);
+        assert_eq!(g.retire(TaskId(0)), vec![TaskId(1)]);
+        assert!(g.is_ready(TaskId(1)));
+        assert_eq!(g.retire(TaskId(1)), vec![TaskId(2)]);
+        assert_eq!(g.retire(TaskId(2)), vec![]);
+        assert_eq!(g.live_tasks(), 0);
+        assert_eq!(g.stats().edges, 2);
+    }
+
+    #[test]
+    fn readers_then_writer_waits_for_all() {
+        let mut g = ReferenceGraph::new();
+        g.insert(&task(0, |b| b.output(0xa)));
+        g.retire(TaskId(0));
+        assert!(g.insert(&task(1, |b| b.input(0xa))));
+        assert!(g.insert(&task(2, |b| b.input(0xa))));
+        assert!(!g.insert(&task(3, |b| b.inout(0xa))));
+        assert_eq!(g.blocker_count(TaskId(3)), 2);
+        assert!(g.retire(TaskId(1)).is_empty());
+        assert_eq!(g.retire(TaskId(2)), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn retired_predecessors_do_not_block() {
+        let mut g = ReferenceGraph::new();
+        g.insert(&task(0, |b| b.output(0xa)));
+        g.retire(TaskId(0));
+        // The writer is retired, so the reader is ready immediately, but the
+        // direct dependency edge is still recorded for analysis.
+        assert!(g.insert(&task(1, |b| b.input(0xa))));
+        assert_eq!(g.direct_deps(TaskId(1)).unwrap(), &[TaskId(0)]);
+    }
+
+    #[test]
+    fn last_writer_is_tracked_for_taskwait_on() {
+        let mut g = ReferenceGraph::new();
+        assert_eq!(g.last_writer(0xa), None);
+        g.insert(&task(0, |b| b.output(0xa)));
+        g.insert(&task(1, |b| b.input(0xa)));
+        g.insert(&task(2, |b| b.inout(0xa)));
+        assert_eq!(g.last_writer(0xa), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn wavefront_parallelism_profile() {
+        // The H.264 wavefront dependency (left + up-right) makes each row lag
+        // its predecessor by two columns, so the critical path of a
+        // rows x cols frame is 2*(rows-1) + cols tasks.
+        let trace = micro::wavefront(6, 8, SimDuration::from_us(10));
+        let p = ParallelismProfile::of(&trace);
+        assert!((p.total_work_us - 480.0).abs() < 1e-9);
+        assert!((p.critical_path_us - 180.0).abs() < 1e-9, "{}", p.critical_path_us);
+        assert!((p.average_parallelism() - 480.0 / 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_has_no_parallelism() {
+        let trace = micro::chain(10, SimDuration::from_us(5));
+        let p = ParallelismProfile::of(&trace);
+        assert!((p.average_parallelism() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_tasks_have_full_parallelism() {
+        let trace = micro::independent_tasks(16, 2, SimDuration::from_us(5));
+        let p = ParallelismProfile::of(&trace);
+        assert!((p.average_parallelism() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taskwait_on_only_waits_for_the_named_address() {
+        use nexus_trace::{Trace, TraceOp};
+        let mut tr = Trace::new("tw-on");
+        // Long task writes A, short task writes B; master waits on B only.
+        tr.submit(task(0, |b| b.output(0xa).duration_us(1000.0)));
+        tr.submit(task(1, |b| b.output(0xb).duration_us(1.0)));
+        tr.push(TraceOp::TaskwaitOn(0xb));
+        tr.submit(task(2, |b| b.input(0xb).duration_us(1.0)));
+        let p = ParallelismProfile::of(&tr);
+        // The barrier only waits for the short writer of B, so the critical
+        // path is the long writer of A (1000 µs), not 1000 + 1 + 1.
+        assert!((p.critical_path_us - 1000.0).abs() < 1e-9, "{}", p.critical_path_us);
+    }
+}

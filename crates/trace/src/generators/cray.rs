@@ -1,0 +1,86 @@
+//! c-ray: ray-tracing benchmark from the Starbench suite.
+//!
+//! "c-ray and rot-cc have simple dependency patterns, with tasks working on each
+//! line of the input image independently. For c-ray, there is only one task per
+//! line, which means that all tasks are independent. … c-ray is a best case for
+//! this type of runtime, as it has long tasks and ample parallelism" (§V-A).
+//!
+//! Table II: 1200 tasks, 7381 ms of total work, 6151 µs average task, 1 dep.
+
+use crate::addr::AddrRegion;
+use crate::task::TaskDescriptor;
+use crate::trace::{Trace, TraceBuilder};
+use nexus_sim::SimRng;
+
+/// Number of image lines (= tasks) in the full-size trace (Table II).
+pub const LINES: u64 = 1200;
+/// Average task duration in microseconds (Table II).
+pub const AVG_TASK_US: f64 = 6151.0;
+
+/// Generates the c-ray trace. `scale` shrinks the number of image lines.
+pub fn generate(seed: u64, scale: f64) -> Trace {
+    let lines = ((LINES as f64 * scale).round() as u64).max(1);
+    let mut rng = SimRng::new(seed ^ 0xC0FF_EE00);
+    let mut b = TraceBuilder::new("c-ray");
+    let out_lines = AddrRegion::benchmark_array(0);
+
+    for line in 0..lines {
+        // Ray tracing time varies moderately per line (scene-dependent);
+        // +/- 15% uniform jitter around the reported average.
+        let us = AVG_TASK_US * rng.uniform(0.85, 1.15);
+        b.submit_with(|id| {
+            TaskDescriptor::builder(id.0)
+                .function(0)
+                .output(out_lines.addr(line))
+                .duration_us(us)
+                .build()
+        });
+    }
+    b.taskwait();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn full_trace_matches_table2_row() {
+        let t = generate(42, 1.0);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.tasks, 1200);
+        assert_eq!(s.deps_column(), "1");
+        // Average task size within 5% of the paper's 6151 us.
+        assert!(
+            (s.avg_task_us - AVG_TASK_US).abs() / AVG_TASK_US < 0.05,
+            "avg {}",
+            s.avg_task_us
+        );
+        // Total work within 10% of the paper's 7381 ms.
+        assert!((s.total_work_ms - 7381.0).abs() / 7381.0 < 0.10, "{}", s.total_work_ms);
+        assert_eq!(s.taskwaits, 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn all_tasks_are_independent() {
+        // No address is used by two different tasks.
+        let t = generate(1, 0.2);
+        let mut seen = std::collections::HashSet::new();
+        for task in t.tasks() {
+            for p in &task.params {
+                assert!(seen.insert(p.addr), "address reused across c-ray tasks");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate(9, 0.1);
+        let b = generate(9, 0.1);
+        assert_eq!(a.ops, b.ops);
+        let c = generate(10, 0.1);
+        assert_ne!(a.total_work(), c.total_work());
+    }
+}

@@ -1,0 +1,142 @@
+//! Gaussian elimination with partial pivoting (Fig. 6, Table III, Fig. 9).
+//!
+//! "To validate the dummy tasks/entries approach, the task graph of Gaussian
+//! elimination with partial pivoting is used. In this benchmark, the number of
+//! tasks that depend on a certain memory segment depends on the size of the
+//! input matrix" (§V-A). The dependency pattern of Fig. 6 is a triangular
+//! wavefront: elimination wave `i` consists of the pivot task `T_i^i` followed
+//! by the row-update tasks `T_i^j` (`j > i`), each of which reads the pivot row
+//! `R_i` and updates its own row `R_j`.
+//!
+//! Task counts therefore equal `n(n+1)/2 − 1`, matching Table III exactly
+//! (31 374 / 125 249 / 500 499 / 4 501 499 for n = 250/500/1000/3000).
+//!
+//! Task weights: the paper assumes 2 GFLOPS worker cores, so a task with `w`
+//! FLOPs takes `w / 2000` µs. We assign `w(T_i^j) = n − i + 1`, whose average
+//! over the whole graph is ≈ 2n/3, reproducing the "average task weight" column
+//! of Table III (167 / 334 / 667 / 2000 FLOPs).
+
+use crate::addr::AddrRegion;
+use crate::task::TaskDescriptor;
+use crate::trace::{Trace, TraceBuilder};
+
+/// Worker-core throughput assumed by the paper for this benchmark (FLOP/µs).
+pub const FLOPS_PER_US: f64 = 2000.0;
+
+/// Number of tasks the pattern generates for an `n × n` matrix.
+pub fn task_count(n: u64) -> u64 {
+    n * (n + 1) / 2 - 1
+}
+
+/// Average task weight in FLOPs for an `n × n` matrix (Table III column).
+pub fn average_flops(n: u64) -> f64 {
+    let mut total = 0u64;
+    for i in 1..n {
+        // Wave i has (n - i + 1) tasks each of weight (n - i + 1).
+        let w = n - i + 1;
+        total += w * w;
+    }
+    total as f64 / task_count(n) as f64
+}
+
+/// Generates the Gaussian-elimination trace for an `n × n` matrix.
+///
+/// The submission order follows the waves of Fig. 6 (`T_1^1, T_1^2 … T_1^n,
+/// T_2^2 … T_2^n, …`), so the first ready task is `T_1^1` and the following
+/// `n − 1` tasks all wait on the same pivot row — the long kick-off lists the
+/// benchmark is designed to exercise.
+pub fn generate(n: u32) -> Trace {
+    let n = n.max(2) as u64;
+    let mut b = TraceBuilder::new(format!("gaussian-{n}"));
+    let rows = AddrRegion::benchmark_array(6);
+    let row_addr = |r: u64| rows.addr(r);
+
+    for i in 1..n {
+        let weight = (n - i + 1) as f64;
+        let dur_us = weight / FLOPS_PER_US;
+        // Pivot task T_i^i: selects the pivot and normalizes row i.
+        b.submit_with(|id| {
+            TaskDescriptor::builder(id.0)
+                .function(0)
+                .inout(row_addr(i))
+                .duration_us(dur_us)
+                .build()
+        });
+        // Row-update tasks T_i^j: eliminate column i from row j using row i.
+        for j in (i + 1)..=n {
+            b.submit_with(|id| {
+                TaskDescriptor::builder(id.0)
+                    .function(1)
+                    .input(row_addr(i))
+                    .inout(row_addr(j))
+                    .duration_us(dur_us)
+                    .build()
+            });
+        }
+    }
+    b.taskwait();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn task_counts_match_table3_exactly() {
+        assert_eq!(task_count(250), 31_374);
+        assert_eq!(task_count(500), 125_249);
+        assert_eq!(task_count(1000), 500_499);
+        assert_eq!(task_count(3000), 4_501_499);
+        let t = generate(250);
+        assert_eq!(t.task_count() as u64, 31_374);
+    }
+
+    #[test]
+    fn average_weight_matches_table3() {
+        // Table III: 167 / 334 / 667 / 2012 FLOPs.
+        assert!((average_flops(250) - 167.0).abs() < 2.0, "{}", average_flops(250));
+        assert!((average_flops(500) - 334.0).abs() < 3.0, "{}", average_flops(500));
+        assert!((average_flops(1000) - 667.0).abs() < 5.0, "{}", average_flops(1000));
+        assert!((average_flops(3000) - 2012.0).abs() < 20.0, "{}", average_flops(3000));
+    }
+
+    #[test]
+    fn durations_follow_the_2gflops_assumption() {
+        let t = generate(250);
+        let s = TraceStats::of(&t);
+        // Table III: 0.084 us average task weight for n = 250.
+        assert!((s.avg_task_us - 0.084).abs() < 0.003, "{}", s.avg_task_us);
+        assert_eq!(s.deps_column(), "1-2");
+    }
+
+    #[test]
+    fn first_wave_all_waits_on_the_pivot_row() {
+        let n = 50u64;
+        let t = generate(n as u32);
+        let tasks: Vec<_> = t.tasks().collect();
+        // First task is the pivot with a single inout parameter.
+        assert_eq!(tasks[0].num_params(), 1);
+        let pivot_addr = tasks[0].params[0].addr;
+        // The next n-1 tasks all read that same address (the long kick-off list).
+        for task in &tasks[1..n as usize] {
+            assert!(task.params.iter().any(|p| p.addr == pivot_addr && !p.dir.writes()));
+        }
+    }
+
+    #[test]
+    fn wave_structure_has_decreasing_width() {
+        let t = generate(10);
+        // Waves: wave i has (n - i + 1) tasks, i = 1..n-1 => widths 10, 9, ..., 2.
+        let widths: Vec<u64> = (1..10u64).map(|i| 10 - i + 1).collect();
+        assert_eq!(widths.iter().sum::<u64>(), t.task_count() as u64);
+    }
+
+    #[test]
+    fn tiny_matrix_is_clamped() {
+        let t = generate(1);
+        assert!(t.task_count() > 0);
+        t.validate().unwrap();
+    }
+}

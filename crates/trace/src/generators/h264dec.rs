@@ -1,0 +1,194 @@
+//! h264dec: H.264 macroblock wavefront decoding (Starbench), the paper's
+//! headline fine-grained benchmark.
+//!
+//! "The H.264 decoder … can be configured to run with variable granularity by
+//! setting the number of macroblocks that are processed by one task. At the
+//! extreme, a new task is created for each macroblock. This fine-grain
+//! parallelism is especially challenging to manage." (§V-A). The input is 10
+//! full-HD frames (1920 × 1088 → 120 × 68 macroblocks of 16 × 16 pixels) of the
+//! `pedestrian_area.h264` stream.
+//!
+//! Dependency pattern (Listing 1 / §II-A): decoding macroblock (r, c) requires
+//! the left neighbour (r, c−1) and the up-right neighbour (r−1, c+1), giving the
+//! classic wavefront. In addition each task reads the co-located region of the
+//! previous (reference) frame (motion compensation), and the tasks of a row read
+//! the row's entropy-decode output, which is produced by a serial per-row
+//! entropy chain. This yields the 2–6 parameter range of Table II.
+//!
+//! The benchmark is also the paper's showcase for the `taskwait on` pragma: the
+//! master waits on the co-located row of the reference frame before submitting a
+//! row of the current frame. Nexus++ lacks `taskwait on` support and escalates
+//! each of these waits to a full `taskwait`, which is why it cannot scale on
+//! this benchmark (§VI).
+
+use crate::addr::{addr_2d, AddrRegion};
+use crate::generators::MbGrouping;
+use crate::task::TaskDescriptor;
+use crate::trace::{Trace, TraceBuilder};
+use nexus_sim::SimRng;
+
+/// Macroblock columns of a 1920-pixel-wide frame.
+pub const MB_COLS: u64 = 120;
+/// Macroblock rows of a 1088-pixel-high frame.
+pub const MB_ROWS: u64 = 68;
+/// Number of frames in the full-size trace.
+pub const FRAMES: u64 = 10;
+
+/// Dimensions of the task grid for a given grouping.
+fn task_grid(group: MbGrouping, rows: u64, cols: u64) -> (u64, u64) {
+    let g = group.factor() as u64;
+    (rows.div_ceil(g), cols.div_ceil(g))
+}
+
+/// Generates the h264dec trace for the given macroblock grouping.
+/// `scale` shrinks the number of frames (and, below 1 frame, the frame size).
+pub fn generate(group: MbGrouping, seed: u64, scale: f64) -> Trace {
+    let (frames, mb_rows, mb_cols) = if scale >= 0.1 {
+        (((FRAMES as f64 * scale).round() as u64).max(1), MB_ROWS, MB_COLS)
+    } else {
+        // Sub-frame scaling for unit tests: a single shrunken frame.
+        let shrink = (scale * 10.0).sqrt().clamp(0.05, 1.0);
+        (
+            1,
+            ((MB_ROWS as f64 * shrink).round() as u64).max(4),
+            ((MB_COLS as f64 * shrink).round() as u64).max(4),
+        )
+    };
+    let (rows, cols) = task_grid(group, mb_rows, mb_cols);
+    let avg_us = group.paper_avg_task_us();
+    let mut rng = SimRng::new(seed ^ 0x2640_0000 ^ group.factor() as u64);
+    let mut b = TraceBuilder::new(format!("h264dec-{group}-10f"));
+
+    // One decoded-picture buffer region per frame, plus one entropy-row region
+    // per frame, plus one bitstream-cursor word per frame (the CABAC state that
+    // serializes entropy decoding within a frame).
+    let frame_regions: Vec<AddrRegion> = (0..frames)
+        .map(|f| AddrRegion::benchmark_array(10 + f))
+        .collect();
+    let entropy_regions: Vec<AddrRegion> = (0..frames)
+        .map(|f| AddrRegion::benchmark_array(30 + f))
+        .collect();
+    let cursors = AddrRegion::benchmark_array(50);
+
+    for f in 0..frames as usize {
+        for r in 0..rows {
+            // The master needs the co-located row of the reference frame before
+            // it can set up motion-compensation for this row: `taskwait on`.
+            if f > 0 {
+                let ref_addr = addr_2d(&frame_regions[f - 1], r, cols - 1, cols);
+                b.taskwait_on(ref_addr);
+            }
+            // Serial entropy decoding of the row (CABAC/CAVLC is sequential):
+            // rows of a frame are chained through the frame's bitstream cursor.
+            let entropy_addr = entropy_regions[f].addr(r);
+            let cursor_addr = cursors.addr(f as u64);
+            let entropy_dur = avg_us * 2.5 * rng.uniform(0.9, 1.1);
+            b.submit_with(|id| {
+                TaskDescriptor::builder(id.0)
+                    .function(1)
+                    .output(entropy_addr)
+                    .inout(cursor_addr)
+                    .duration_us(entropy_dur)
+                    .build()
+            });
+
+            for c in 0..cols {
+                let this = addr_2d(&frame_regions[f], r, c, cols);
+                let dur = avg_us * rng.uniform(0.75, 1.25);
+                b.submit_with(|id| {
+                    let mut t = TaskDescriptor::builder(id.0)
+                        .function(0)
+                        .inout(this)
+                        .input(entropy_addr);
+                    if c > 0 {
+                        t = t.input(addr_2d(&frame_regions[f], r, c - 1, cols));
+                    }
+                    if r > 0 && c + 1 < cols {
+                        t = t.input(addr_2d(&frame_regions[f], r - 1, c + 1, cols));
+                    }
+                    if r > 0 && c > 0 {
+                        // Up-left neighbour (intra prediction).
+                        t = t.input(addr_2d(&frame_regions[f], r - 1, c - 1, cols));
+                    }
+                    if f > 0 {
+                        // Motion compensation from the co-located reference block.
+                        t = t.input(addr_2d(&frame_regions[f - 1], r, c, cols));
+                    }
+                    t.duration_us(dur).build()
+                });
+            }
+        }
+    }
+    b.taskwait();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn full_1x1_trace_shape() {
+        let t = generate(MbGrouping::G1x1, 3, 1.0);
+        let s = TraceStats::of(&t);
+        // 10 frames x (8160 decode + 68 entropy) = 82280 tasks.
+        assert_eq!(s.tasks, FRAMES * (MB_ROWS * MB_COLS + MB_ROWS));
+        assert_eq!(s.deps_column(), "2-6");
+        // Average dominated by the decode tasks at ~4.6 us (entropy tasks are
+        // rare); allow 10%.
+        assert!((s.avg_task_us - 4.6).abs() / 4.6 < 0.10, "avg {}", s.avg_task_us);
+        // The master issues one taskwait-on per row of every non-first frame.
+        assert_eq!(s.taskwait_ons, (FRAMES - 1) * MB_ROWS);
+        assert_eq!(s.taskwaits, 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn grouping_reduces_task_count_and_increases_size() {
+        let fine = generate(MbGrouping::G1x1, 3, 0.2);
+        let coarse = generate(MbGrouping::G8x8, 3, 0.2);
+        assert!(coarse.task_count() * 30 < fine.task_count());
+        let sf = TraceStats::of(&fine);
+        let sc = TraceStats::of(&coarse);
+        assert!(sc.avg_task_us > 30.0 * sf.avg_task_us / 2.0);
+        assert!((sc.avg_task_us - 189.9).abs() / 189.9 < 0.15, "avg {}", sc.avg_task_us);
+    }
+
+    #[test]
+    fn full_8x8_task_count_matches_grid() {
+        let t = generate(MbGrouping::G8x8, 3, 1.0);
+        let rows = MB_ROWS.div_ceil(8);
+        let cols = MB_COLS.div_ceil(8);
+        assert_eq!(t.task_count() as u64, FRAMES * (rows * cols + rows));
+    }
+
+    #[test]
+    fn wavefront_dependencies_reference_earlier_tasks_only() {
+        // Every `in` address must have been written (out/inout) by an earlier
+        // task or belong to the entropy/reference regions written earlier.
+        let t = generate(MbGrouping::G4x4, 3, 0.1);
+        let mut written = std::collections::HashSet::new();
+        for task in t.tasks() {
+            for p in task.params.iter().filter(|p| p.dir.reads() && !p.dir.writes()) {
+                assert!(
+                    written.contains(&p.addr),
+                    "{} reads address {:x} that was never produced",
+                    task.id,
+                    p.addr
+                );
+            }
+            for p in task.params.iter().filter(|p| p.dir.writes()) {
+                written.insert(p.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn sub_frame_scaling_produces_tiny_valid_traces() {
+        let t = generate(MbGrouping::G1x1, 3, 0.01);
+        assert!(t.task_count() > 10);
+        assert!(t.task_count() < 3000);
+        t.validate().unwrap();
+    }
+}

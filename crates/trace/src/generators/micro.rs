@@ -1,0 +1,191 @@
+//! Micro traces used for the pipeline cycle studies (Fig. 4, Fig. 5, §IV-E)
+//! and for unit/property testing of the managers.
+
+use crate::addr::AddrRegion;
+use crate::task::TaskDescriptor;
+use crate::trace::{Trace, TraceBuilder};
+use nexus_sim::SimDuration;
+
+/// The §IV-E comparison micro-benchmark: "a micro benchmark built after [19]
+/// that includes inserting 5 independent tasks, each with two parameters".
+/// Nexus# with one task graph handles it in 78 cycles (vs. 172 in [19]).
+pub fn five_independent_tasks() -> Trace {
+    independent_tasks(5, 2, SimDuration::from_us(1))
+}
+
+/// `count` independent tasks with `params` parameters each (no address sharing).
+pub fn independent_tasks(count: u64, params: usize, duration: SimDuration) -> Trace {
+    let region = AddrRegion::benchmark_array(7);
+    let mut b = TraceBuilder::new(format!("micro-independent-{count}x{params}"));
+    let mut next = 0u64;
+    for _ in 0..count {
+        let mut addrs = Vec::with_capacity(params);
+        for _ in 0..params {
+            addrs.push(region.addr(next));
+            next += 1;
+        }
+        b.submit_with(|id| {
+            let mut t = TaskDescriptor::builder(id.0).function(0);
+            for (k, a) in addrs.iter().enumerate() {
+                t = if k == 0 { t.inout(*a) } else { t.input(*a) };
+            }
+            t.duration(duration).build()
+        });
+    }
+    b.taskwait();
+    b.finish()
+}
+
+/// A single task with `params` parameters — the 4-parameter instance is the
+/// running example of the pipeline figures (Fig. 1, Fig. 4, Fig. 5).
+pub fn single_task(params: usize, duration: SimDuration) -> Trace {
+    independent_tasks(1, params.max(1), duration)
+}
+
+/// A serial chain of `n` tasks, each depending on its predecessor through a
+/// single inout parameter. The worst case for any task manager: zero
+/// parallelism, pure per-task overhead.
+pub fn chain(n: u64, duration: SimDuration) -> Trace {
+    let region = AddrRegion::benchmark_array(8);
+    let addr = region.addr(0);
+    let mut b = TraceBuilder::new(format!("micro-chain-{n}"));
+    for _ in 0..n {
+        b.submit_with(|id| {
+            TaskDescriptor::builder(id.0)
+                .function(0)
+                .inout(addr)
+                .duration(duration)
+                .build()
+        });
+    }
+    b.taskwait();
+    b.finish()
+}
+
+/// A fork-join: one producer task, `width` independent consumers reading the
+/// producer's output, then a joiner reading all consumer outputs (capped at 6
+/// parameters by splitting into a reduction tree if needed — here we keep a
+/// single joiner with up to `width` inputs for stress-testing long parameter
+/// lists is *not* the goal, so the joiner reads a single reduced address that
+/// every consumer also writes with `inout`, serializing the join).
+pub fn fork_join(width: u64, duration: SimDuration) -> Trace {
+    let region = AddrRegion::benchmark_array(9);
+    let src = region.addr(0);
+    let acc = region.addr(1);
+    let mut b = TraceBuilder::new(format!("micro-forkjoin-{width}"));
+    b.submit_with(|id| {
+        TaskDescriptor::builder(id.0)
+            .function(0)
+            .output(src)
+            .duration(duration)
+            .build()
+    });
+    for w in 0..width {
+        let own = region.addr(2 + w);
+        b.submit_with(|id| {
+            TaskDescriptor::builder(id.0)
+                .function(1)
+                .input(src)
+                .output(own)
+                .duration(duration)
+                .build()
+        });
+    }
+    // Joiner: accumulates every consumer output (modelled as reading the last
+    // consumer's output plus updating a shared accumulator).
+    let last = region.addr(2 + width.saturating_sub(1));
+    b.submit_with(|id| {
+        TaskDescriptor::builder(id.0)
+            .function(2)
+            .input(last)
+            .inout(acc)
+            .duration(duration)
+            .build()
+    });
+    b.taskwait();
+    b.finish()
+}
+
+/// The wavefront of Listing 1 (macroblock decoding of a single frame of
+/// `rows × cols` blocks): task (r, c) reads (r, c−1) and (r−1, c+1) and updates
+/// its own block. Used by tests and by the quickstart example.
+pub fn wavefront(rows: u64, cols: u64, duration: SimDuration) -> Trace {
+    let region = AddrRegion::benchmark_array(12);
+    let mut b = TraceBuilder::new(format!("micro-wavefront-{rows}x{cols}"));
+    for r in 0..rows {
+        for c in 0..cols {
+            let this = region.addr(r * cols + c);
+            b.submit_with(|id| {
+                let mut t = TaskDescriptor::builder(id.0).function(0).inout(this);
+                if c > 0 {
+                    t = t.input(region.addr(r * cols + c - 1));
+                }
+                if r > 0 && c + 1 < cols {
+                    t = t.input(region.addr((r - 1) * cols + c + 1));
+                }
+                t.duration(duration).build()
+            });
+        }
+    }
+    b.taskwait();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn five_independent_tasks_matches_the_paper_micro_benchmark() {
+        let t = five_independent_tasks();
+        assert_eq!(t.task_count(), 5);
+        for task in t.tasks() {
+            assert_eq!(task.num_params(), 2);
+        }
+        // No shared addresses => all independent.
+        let mut seen = std::collections::HashSet::new();
+        for task in t.tasks() {
+            for p in &task.params {
+                assert!(seen.insert(p.addr));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_tasks_share_one_address() {
+        let t = chain(10, SimDuration::from_us(2));
+        assert_eq!(t.task_count(), 10);
+        let addrs: std::collections::HashSet<u64> =
+            t.tasks().flat_map(|t| t.params.iter().map(|p| p.addr)).collect();
+        assert_eq!(addrs.len(), 1);
+        assert_eq!(t.total_work(), SimDuration::from_us(20));
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let t = fork_join(8, SimDuration::from_us(1));
+        assert_eq!(t.task_count(), 10); // producer + 8 + joiner
+        let s = TraceStats::of(&t);
+        assert_eq!(s.min_params, 1);
+        assert_eq!(s.max_params, 2);
+    }
+
+    #[test]
+    fn wavefront_counts() {
+        let t = wavefront(4, 6, SimDuration::from_us(3));
+        assert_eq!(t.task_count(), 24);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.min_params, 1); // block (0,0)
+        assert_eq!(s.max_params, 3);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn single_task_param_count_is_clamped() {
+        let t = single_task(0, SimDuration::from_us(1));
+        assert_eq!(t.tasks().next().unwrap().num_params(), 1);
+        let t4 = single_task(4, SimDuration::from_us(1));
+        assert_eq!(t4.tasks().next().unwrap().num_params(), 4);
+    }
+}

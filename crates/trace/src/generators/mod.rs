@@ -1,0 +1,231 @@
+//! Synthetic workload generators for every benchmark in the paper's evaluation.
+//!
+//! Each generator reproduces the *dependency pattern*, *parameter counts* and
+//! *duration distribution* described in §V-A (Table II, Table III, Fig. 6) of
+//! the paper. Generation is fully deterministic given the seed, so the
+//! benchmark harness regenerates identical tables on every run.
+
+pub mod cray;
+pub mod gaussian;
+pub mod h264dec;
+pub mod micro;
+pub mod rotcc;
+pub mod sparselu;
+pub mod streamcluster;
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Macroblock grouping factor for the h264dec benchmark: `g × g` macroblocks
+/// are decoded by one task (§V-A / §VI, Fig. 7 and Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MbGrouping {
+    /// One macroblock per task — the finest granularity (4.6 µs average task).
+    G1x1,
+    /// 2×2 macroblocks per task (≈15.3 µs average task).
+    G2x2,
+    /// 4×4 macroblocks per task (≈55.6 µs average task).
+    G4x4,
+    /// 8×8 macroblocks per task (≈189.9 µs average task).
+    G8x8,
+}
+
+impl MbGrouping {
+    /// Side length of the macroblock group.
+    pub fn factor(self) -> u32 {
+        match self {
+            MbGrouping::G1x1 => 1,
+            MbGrouping::G2x2 => 2,
+            MbGrouping::G4x4 => 4,
+            MbGrouping::G8x8 => 8,
+        }
+    }
+
+    /// All four groupings evaluated in the paper.
+    pub fn all() -> [MbGrouping; 4] {
+        [
+            MbGrouping::G1x1,
+            MbGrouping::G2x2,
+            MbGrouping::G4x4,
+            MbGrouping::G8x8,
+        ]
+    }
+
+    /// The average task size the paper reports for this grouping (Table II).
+    pub fn paper_avg_task_us(self) -> f64 {
+        match self {
+            MbGrouping::G1x1 => 4.6,
+            MbGrouping::G2x2 => 15.3,
+            MbGrouping::G4x4 => 55.6,
+            MbGrouping::G8x8 => 189.9,
+        }
+    }
+}
+
+impl std::fmt::Display for MbGrouping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MbGrouping::G1x1 => "1x1",
+            MbGrouping::G2x2 => "2x2",
+            MbGrouping::G4x4 => "4x4",
+            MbGrouping::G8x8 => "8x8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The benchmarks of the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// c-ray: ray tracing, one independent ~6.2 ms task per image line.
+    CRay,
+    /// rot-cc: image rotation + colour conversion, two chained ~0.5 ms tasks per line.
+    RotCc,
+    /// sparselu: blocked sparse LU factorization (lu0/fwd/bdiv/bmod task graph).
+    SparseLu,
+    /// streamcluster: fork-join chains of ~400-task groups separated by taskwaits.
+    Streamcluster,
+    /// h264dec: macroblock wavefront decoding of 10 full-HD frames with the
+    /// given macroblock grouping.
+    H264Dec(MbGrouping),
+    /// Gaussian elimination with partial pivoting on an `n × n` matrix
+    /// (Fig. 6 / Table III / Fig. 9).
+    Gaussian {
+        /// Matrix dimension.
+        dim: u32,
+    },
+}
+
+impl Benchmark {
+    /// Canonical benchmark name used in tables and reports (matches the paper).
+    pub fn name(&self) -> String {
+        match self {
+            Benchmark::CRay => "c-ray".to_string(),
+            Benchmark::RotCc => "rot-cc".to_string(),
+            Benchmark::SparseLu => "sparselu".to_string(),
+            Benchmark::Streamcluster => "streamcluster".to_string(),
+            Benchmark::H264Dec(g) => format!("h264dec-{g}-10f"),
+            Benchmark::Gaussian { dim } => format!("gaussian-{dim}"),
+        }
+    }
+
+    /// Generates the full-size trace for this benchmark (sizes per Table II /
+    /// Table III), deterministically from `seed`.
+    pub fn trace(&self, seed: u64) -> Trace {
+        self.trace_scaled(seed, 1.0)
+    }
+
+    /// Generates a size-scaled trace: `scale` multiplies the task count (by
+    /// shrinking the input: fewer lines, fewer frames, fewer groups, a smaller
+    /// matrix) while keeping the per-task durations and the dependency pattern.
+    /// Used by the quick benchmark mode and by tests. `scale` is clamped to
+    /// `(0, 1]`.
+    pub fn trace_scaled(&self, seed: u64, scale: f64) -> Trace {
+        let scale = if scale.is_finite() {
+            scale.clamp(1e-4, 1.0)
+        } else {
+            1.0
+        };
+        match self {
+            Benchmark::CRay => cray::generate(seed, scale),
+            Benchmark::RotCc => rotcc::generate(seed, scale),
+            Benchmark::SparseLu => sparselu::generate(seed, scale),
+            Benchmark::Streamcluster => streamcluster::generate(seed, scale),
+            Benchmark::H264Dec(g) => h264dec::generate(*g, seed, scale),
+            Benchmark::Gaussian { dim } => {
+                let dim = ((*dim as f64 * scale.sqrt()).round() as u32).max(8);
+                gaussian::generate(dim)
+            }
+        }
+    }
+
+    /// The eight rows of Table II, in the paper's order.
+    pub fn table2_suite() -> Vec<Benchmark> {
+        vec![
+            Benchmark::CRay,
+            Benchmark::RotCc,
+            Benchmark::SparseLu,
+            Benchmark::Streamcluster,
+            Benchmark::H264Dec(MbGrouping::G1x1),
+            Benchmark::H264Dec(MbGrouping::G2x2),
+            Benchmark::H264Dec(MbGrouping::G4x4),
+            Benchmark::H264Dec(MbGrouping::G8x8),
+        ]
+    }
+
+    /// The matrix sizes of Table III / Fig. 9.
+    pub fn gaussian_suite() -> Vec<Benchmark> {
+        vec![
+            Benchmark::Gaussian { dim: 250 },
+            Benchmark::Gaussian { dim: 500 },
+            Benchmark::Gaussian { dim: 1000 },
+            Benchmark::Gaussian { dim: 3000 },
+        ]
+    }
+}
+
+/// The standard Table II benchmark suite (the eight traces of Fig. 8).
+pub fn standard_suite() -> Vec<Benchmark> {
+    Benchmark::table2_suite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(Benchmark::CRay.name(), "c-ray");
+        assert_eq!(
+            Benchmark::H264Dec(MbGrouping::G2x2).name(),
+            "h264dec-2x2-10f"
+        );
+        assert_eq!(Benchmark::Gaussian { dim: 250 }.name(), "gaussian-250");
+    }
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(Benchmark::table2_suite().len(), 8);
+        assert_eq!(Benchmark::gaussian_suite().len(), 4);
+        assert_eq!(standard_suite().len(), 8);
+    }
+
+    #[test]
+    fn grouping_metadata() {
+        assert_eq!(MbGrouping::G1x1.factor(), 1);
+        assert_eq!(MbGrouping::G8x8.factor(), 8);
+        assert_eq!(MbGrouping::all().len(), 4);
+        assert_eq!(MbGrouping::G4x4.to_string(), "4x4");
+        assert!((MbGrouping::G2x2.paper_avg_task_us() - 15.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_traces_are_smaller_and_valid() {
+        for b in [
+            Benchmark::CRay,
+            Benchmark::RotCc,
+            Benchmark::Streamcluster,
+            Benchmark::H264Dec(MbGrouping::G8x8),
+        ] {
+            let small = b.trace_scaled(1, 0.05);
+            let larger = b.trace_scaled(1, 0.2);
+            assert!(small.task_count() > 0, "{}", b.name());
+            assert!(
+                small.task_count() < larger.task_count(),
+                "{}: {} !< {}",
+                b.name(),
+                small.task_count(),
+                larger.task_count()
+            );
+            small.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn scale_is_clamped() {
+        let t = Benchmark::CRay.trace_scaled(1, 50.0);
+        assert_eq!(t.task_count(), Benchmark::CRay.trace_scaled(1, 1.0).task_count());
+        let tiny = Benchmark::Gaussian { dim: 250 }.trace_scaled(1, 0.0);
+        assert!(tiny.task_count() > 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! rot-cc: image rotation + colour conversion from the Starbench suite.
+//!
+//! "For rot-cc there are two tasks per line, one for rotation and one for color
+//! conversion, with the second depending on the first. All pairs are independent
+//! from each other." (§V-A).
+//!
+//! Table II: 16262 tasks, 8150 ms total work, 501 µs average task, 1 dep.
+
+use crate::addr::AddrRegion;
+use crate::task::TaskDescriptor;
+use crate::trace::{Trace, TraceBuilder};
+use nexus_sim::SimRng;
+
+/// Number of image lines in the full-size trace; two tasks per line gives the
+/// 16262 tasks of Table II.
+pub const LINES: u64 = 8131;
+/// Average task duration in microseconds (Table II).
+pub const AVG_TASK_US: f64 = 501.0;
+
+/// Generates the rot-cc trace. `scale` shrinks the number of image lines.
+pub fn generate(seed: u64, scale: f64) -> Trace {
+    let lines = ((LINES as f64 * scale).round() as u64).max(1);
+    let mut rng = SimRng::new(seed ^ 0x0407_CC00);
+    let mut b = TraceBuilder::new("rot-cc");
+    // One buffer per rotated line; the colour-conversion task updates it in place,
+    // so both tasks of a pair use the same single parameter (1 dep in Table II).
+    let rotated = AddrRegion::benchmark_array(1);
+
+    for line in 0..lines {
+        let line_addr = rotated.addr(line);
+        // Rotation is slightly more expensive than colour conversion; both are
+        // around the 0.5 ms average of Table II.
+        let rot_us = AVG_TASK_US * rng.uniform(0.95, 1.25);
+        let cc_us = AVG_TASK_US * rng.uniform(0.75, 1.05);
+        b.submit_with(|id| {
+            TaskDescriptor::builder(id.0)
+                .function(0) // rotate
+                .output(line_addr)
+                .duration_us(rot_us)
+                .build()
+        });
+        b.submit_with(|id| {
+            TaskDescriptor::builder(id.0)
+                .function(1) // colour-convert
+                .inout(line_addr)
+                .duration_us(cc_us)
+                .build()
+        });
+    }
+    b.taskwait();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use crate::task::Direction;
+
+    #[test]
+    fn full_trace_matches_table2_row() {
+        let t = generate(7, 1.0);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.tasks, 16262);
+        assert_eq!(s.deps_column(), "1");
+        assert!((s.avg_task_us - AVG_TASK_US).abs() / AVG_TASK_US < 0.05, "{}", s.avg_task_us);
+        assert!((s.total_work_ms - 8150.0).abs() / 8150.0 < 0.10, "{}", s.total_work_ms);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn pairs_share_an_address_and_are_ordered() {
+        let t = generate(3, 0.05);
+        let tasks: Vec<_> = t.tasks().collect();
+        assert_eq!(tasks.len() % 2, 0);
+        for pair in tasks.chunks(2) {
+            let rot = pair[0];
+            let cc = pair[1];
+            assert_eq!(rot.params.len(), 1);
+            assert_eq!(cc.params.len(), 1);
+            assert_eq!(rot.params[0].addr, cc.params[0].addr);
+            assert_eq!(rot.params[0].dir, Direction::Out);
+            assert_eq!(cc.params[0].dir, Direction::InOut);
+        }
+    }
+
+    #[test]
+    fn different_pairs_use_different_addresses() {
+        let t = generate(3, 0.05);
+        let addrs: std::collections::HashSet<u64> =
+            t.tasks().map(|task| task.params[0].addr).collect();
+        assert_eq!(addrs.len(), t.task_count() / 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! streamcluster: online k-median clustering from the Starbench suite.
+//!
+//! "streamcluster is a streaming data analysis kernel with fork-join-style
+//! parallelism. It consists of a chain of groups of about 400 tasks followed by
+//! a taskwait." (§V-A). Table II: 652 776 tasks, 237 908 ms total work, 364 µs
+//! average task, 1–3 deps.
+//!
+//! The per-task duration distribution is strongly bimodal: most tasks are short
+//! distance-evaluation kernels while a small fraction are long gain-evaluation /
+//! re-clustering tasks. The mean matches the paper's 364 µs, and the heavy tail
+//! is what limits even the *ideal* speedup of this benchmark to ≈40× (the
+//! longest task of a group dominates the group's critical path), reproducing
+//! the saturation visible in Fig. 8.
+
+use crate::addr::AddrRegion;
+use crate::task::TaskDescriptor;
+use crate::trace::{Trace, TraceBuilder};
+use nexus_sim::SimRng;
+
+/// Number of fork-join groups in the full-size trace.
+pub const GROUPS: u64 = 1632;
+/// Tasks per group ("groups of about 400 tasks").
+pub const TASKS_PER_GROUP: u64 = 400;
+/// Fraction of long (gain-evaluation) tasks per group.
+pub const LONG_TASK_FRACTION: f64 = 0.10;
+/// Duration of the short distance-evaluation tasks (µs, centre of jitter band).
+pub const SHORT_TASK_US: f64 = 30.0;
+/// Duration of the long gain-evaluation tasks (µs, centre of jitter band),
+/// calibrated so the mean task size lands on the paper's 364 µs.
+pub const LONG_TASK_US: f64 = 3370.0;
+
+/// Generates the streamcluster trace. `scale` shrinks the number of groups.
+pub fn generate(seed: u64, scale: f64) -> Trace {
+    let groups = ((GROUPS as f64 * scale).round() as u64).max(1);
+    let mut rng = SimRng::new(seed ^ 0x57C1_0573);
+    let mut b = TraceBuilder::new("streamcluster");
+
+    // Shared per-group data (the candidate centre set), per-block working
+    // buffers reused across groups (reuse creates the 1-3 dep range and
+    // cross-group write-after-write chains on the block buffers), and the
+    // read-only point coordinates that the long gain-evaluation tasks scan.
+    let group_state = AddrRegion::benchmark_array(3);
+    let blocks = AddrRegion::benchmark_array(4);
+    let points = AddrRegion::benchmark_array(5);
+
+    for g in 0..groups {
+        let group_addr = group_state.addr(g % 64);
+        for i in 0..TASKS_PER_GROUP {
+            let long = rng.chance(LONG_TASK_FRACTION);
+            let us = if long {
+                LONG_TASK_US * rng.uniform(0.85, 1.15)
+            } else {
+                SHORT_TASK_US * rng.uniform(0.5, 1.5)
+            };
+            let block_addr = blocks.addr(i);
+            b.submit_with(|id| {
+                let mut t = TaskDescriptor::builder(id.0)
+                    .function(if long { 1 } else { 0 })
+                    .inout(block_addr);
+                // Most tasks also read the shared group state; a few are
+                // independent local kernels (1 parameter), and the long tasks
+                // additionally read a neighbour block (3 parameters).
+                if i % 16 != 0 {
+                    t = t.input(group_addr);
+                }
+                if long {
+                    // Gain evaluation additionally scans a slab of the
+                    // (read-only) input points; tasks within a group stay
+                    // independent of each other.
+                    t = t.input(points.addr(i % 64));
+                }
+                t.duration_us(us).build()
+            });
+        }
+        b.taskwait();
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn full_trace_matches_table2_row() {
+        let t = generate(13, 1.0);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.tasks, GROUPS * TASKS_PER_GROUP);
+        // Within 1% of the paper's 652776 tasks.
+        assert!((s.tasks as f64 - 652_776.0).abs() / 652_776.0 < 0.01, "{}", s.tasks);
+        assert_eq!(s.deps_column(), "1-3");
+        assert!((s.avg_task_us - 364.0).abs() / 364.0 < 0.08, "avg {}", s.avg_task_us);
+        assert!(
+            (s.total_work_ms - 237_908.0).abs() / 237_908.0 < 0.10,
+            "{}",
+            s.total_work_ms
+        );
+        assert_eq!(s.taskwaits, GROUPS);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn duration_distribution_is_heavy_tailed() {
+        let t = generate(2, 0.02);
+        let s = TraceStats::of(&t);
+        // Median well below mean => heavy tail.
+        assert!(s.median_task_us < s.avg_task_us / 3.0, "median {} mean {}", s.median_task_us, s.avg_task_us);
+    }
+
+    #[test]
+    fn groups_are_separated_by_taskwaits() {
+        let t = generate(2, 0.005);
+        let mut since_last_wait = 0usize;
+        for op in &t.ops {
+            match op {
+                crate::trace::TraceOp::Submit(_) => since_last_wait += 1,
+                crate::trace::TraceOp::Taskwait => {
+                    assert_eq!(since_last_wait as u64, TASKS_PER_GROUP);
+                    since_last_wait = 0;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(since_last_wait, 0, "trace must end with a taskwait");
+    }
+}

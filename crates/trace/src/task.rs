@@ -1,0 +1,289 @@
+//! Task descriptors: the unit of work exchanged between the runtime system and
+//! the task managers.
+//!
+//! A task is a function call annotated with `#pragma omp task input(...)
+//! output(...) inout(...)`. The runtime turns the call into a *task descriptor*
+//! carrying the function pointer, the list of parameter memory addresses with
+//! their access direction, and (in the trace-driven evaluation) the measured
+//! execution time of the task body.
+
+use nexus_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a submitted task. Unique within a trace / a run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of the task function (the "function pointer" stored in the
+/// Function Pointers table of Nexus#).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FunctionId(pub u32);
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Access direction of a task parameter, mirroring the OmpSs pragma clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// `input(...)`: the task reads the memory region.
+    In,
+    /// `output(...)`: the task writes the memory region (no read of prior value).
+    Out,
+    /// `inout(...)`: the task reads and writes the memory region.
+    InOut,
+}
+
+impl Direction {
+    /// True if the parameter reads the region (In or InOut).
+    #[inline]
+    pub fn reads(self) -> bool {
+        matches!(self, Direction::In | Direction::InOut)
+    }
+
+    /// True if the parameter writes the region (Out or InOut).
+    #[inline]
+    pub fn writes(self) -> bool {
+        matches!(self, Direction::Out | Direction::InOut)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::In => "in",
+            Direction::Out => "out",
+            Direction::InOut => "inout",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry in a task's input/output list: a 48-bit memory address (the
+/// representative address of the data region) and its direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaskParam {
+    /// Representative memory address of the parameter (48-bit significant).
+    pub addr: u64,
+    /// Access direction.
+    pub dir: Direction,
+}
+
+impl TaskParam {
+    /// Creates an `input(...)` parameter.
+    pub fn input(addr: u64) -> Self {
+        TaskParam {
+            addr,
+            dir: Direction::In,
+        }
+    }
+    /// Creates an `output(...)` parameter.
+    pub fn output(addr: u64) -> Self {
+        TaskParam {
+            addr,
+            dir: Direction::Out,
+        }
+    }
+    /// Creates an `inout(...)` parameter.
+    pub fn inout(addr: u64) -> Self {
+        TaskParam {
+            addr,
+            dir: Direction::InOut,
+        }
+    }
+}
+
+/// A task descriptor as submitted to a task manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDescriptor {
+    /// Unique task id (assigned in submission order by the trace generator).
+    pub id: TaskId,
+    /// Task function.
+    pub function: FunctionId,
+    /// Input/output list. The paper's benchmarks have between 1 and 6 entries.
+    pub params: Vec<TaskParam>,
+    /// Execution time of the task body on a worker core (from the trace).
+    pub duration: SimDuration,
+}
+
+impl TaskDescriptor {
+    /// Creates a new descriptor.
+    pub fn new(
+        id: TaskId,
+        function: FunctionId,
+        params: Vec<TaskParam>,
+        duration: SimDuration,
+    ) -> Self {
+        TaskDescriptor {
+            id,
+            function,
+            params,
+            duration,
+        }
+    }
+
+    /// Builder-style constructor used heavily by the generators and tests.
+    pub fn builder(id: u64) -> TaskBuilder {
+        TaskBuilder {
+            id: TaskId(id),
+            function: FunctionId(0),
+            params: Vec::new(),
+            duration: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of parameters in the input/output list.
+    #[inline]
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Iterator over parameters that read their region.
+    pub fn inputs(&self) -> impl Iterator<Item = &TaskParam> {
+        self.params.iter().filter(|p| p.dir.reads())
+    }
+
+    /// Iterator over parameters that write their region.
+    pub fn outputs(&self) -> impl Iterator<Item = &TaskParam> {
+        self.params.iter().filter(|p| p.dir.writes())
+    }
+
+    /// Number of PCIe words needed to transfer the descriptor to the hardware
+    /// manager: one header word pair (function pointer + parameter count) plus
+    /// two 32-bit words per 48-bit address (§IV-D of the paper).
+    pub fn transfer_words(&self) -> u64 {
+        2 + 2 * self.params.len() as u64
+    }
+}
+
+/// Builder for [`TaskDescriptor`].
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    id: TaskId,
+    function: FunctionId,
+    params: Vec<TaskParam>,
+    duration: SimDuration,
+}
+
+impl TaskBuilder {
+    /// Sets the task function.
+    pub fn function(mut self, f: u32) -> Self {
+        self.function = FunctionId(f);
+        self
+    }
+
+    /// Adds an `input(...)` parameter.
+    pub fn input(mut self, addr: u64) -> Self {
+        self.params.push(TaskParam::input(addr));
+        self
+    }
+
+    /// Adds an `output(...)` parameter.
+    pub fn output(mut self, addr: u64) -> Self {
+        self.params.push(TaskParam::output(addr));
+        self
+    }
+
+    /// Adds an `inout(...)` parameter.
+    pub fn inout(mut self, addr: u64) -> Self {
+        self.params.push(TaskParam::inout(addr));
+        self
+    }
+
+    /// Sets the execution duration.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Sets the execution duration in microseconds.
+    pub fn duration_us(self, us: f64) -> Self {
+        self.duration(SimDuration::from_us_f64(us))
+    }
+
+    /// Finalizes the descriptor.
+    pub fn build(self) -> TaskDescriptor {
+        TaskDescriptor {
+            id: self.id,
+            function: self.function,
+            params: self.params,
+            duration: self.duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_read_write_classification() {
+        assert!(Direction::In.reads() && !Direction::In.writes());
+        assert!(!Direction::Out.reads() && Direction::Out.writes());
+        assert!(Direction::InOut.reads() && Direction::InOut.writes());
+        assert_eq!(Direction::InOut.to_string(), "inout");
+    }
+
+    #[test]
+    fn builder_produces_expected_descriptor() {
+        let t = TaskDescriptor::builder(7)
+            .function(3)
+            .input(0x1000)
+            .inout(0x2000)
+            .output(0x3000)
+            .duration_us(4.6)
+            .build();
+        assert_eq!(t.id, TaskId(7));
+        assert_eq!(t.function, FunctionId(3));
+        assert_eq!(t.num_params(), 3);
+        assert_eq!(t.inputs().count(), 2); // in + inout
+        assert_eq!(t.outputs().count(), 2); // inout + out
+        assert_eq!(t.duration, SimDuration::from_ns(4600));
+        assert_eq!(t.id.to_string(), "T7");
+        assert_eq!(t.function.to_string(), "fn#3");
+    }
+
+    #[test]
+    fn transfer_words_matches_paper_example() {
+        // The pipeline walk-through in Fig. 4 uses a 4-parameter task:
+        // 2 header words + 2 words per 48-bit address = 10 words.
+        let t = TaskDescriptor::builder(0)
+            .input(1)
+            .input(2)
+            .input(3)
+            .inout(4)
+            .build();
+        assert_eq!(t.transfer_words(), 10);
+        let one = TaskDescriptor::builder(1).inout(9).build();
+        assert_eq!(one.transfer_words(), 4);
+    }
+
+    #[test]
+    fn param_constructors() {
+        assert_eq!(TaskParam::input(5).dir, Direction::In);
+        assert_eq!(TaskParam::output(5).dir, Direction::Out);
+        assert_eq!(TaskParam::inout(5).dir, Direction::InOut);
+        assert_eq!(TaskParam::inout(5).addr, 5);
+    }
+}

@@ -1,0 +1,61 @@
+//! The Gaussian-elimination micro-benchmark of §V-A / Fig. 6 / Fig. 9: a
+//! triangular wavefront where every elimination wave fans out to all remaining
+//! rows, so the number of tasks waiting on one memory address grows with the
+//! matrix — the property the dummy-entry (chained kick-off list) design exists
+//! for.
+//!
+//! Run with: `cargo run --release --example gaussian_elimination`
+
+use nexus::prelude::*;
+use nexus::trace::generators::gaussian;
+
+fn main() {
+    for dim in [100u32, 250, 500] {
+        let trace = gaussian::generate(dim);
+        let stats = TraceStats::of(&trace);
+        println!(
+            "\n=== gaussian-{dim}: {} tasks, avg {:.3} us/task (2 GFLOPS cores) ===",
+            stats.tasks, stats.avg_task_us
+        );
+
+        // Baseline, as in Fig. 9: single-core execution time under Nexus++.
+        let baseline = simulate(
+            &trace,
+            &mut NexusPP::paper(),
+            &HostConfig::with_workers(1),
+        )
+        .makespan;
+
+        println!("{:<22} {:>7} {:>7} {:>7}", "manager", "8c", "32c", "64c");
+        for (name, tgs) in [("Nexus# 1 TG", 1usize), ("Nexus# 2 TGs", 2)] {
+            print!("{name:<22}");
+            for workers in [8usize, 32, 64] {
+                let mut mgr = NexusSharp::at_mhz(tgs, 100.0);
+                let out = simulate(&trace, &mut mgr, &HostConfig::with_workers(workers));
+                print!(" {:>6.2}x", baseline.as_us_f64() / out.makespan.as_us_f64());
+            }
+            println!();
+        }
+        print!("{:<22}", "Nexus++");
+        for workers in [8usize, 32, 64] {
+            let mut mgr = NexusPP::paper();
+            let out = simulate(&trace, &mut mgr, &HostConfig::with_workers(workers));
+            print!(" {:>6.2}x", baseline.as_us_f64() / out.makespan.as_us_f64());
+        }
+        println!();
+
+        // Show the kick-off list growth the benchmark is designed to exercise.
+        let mut mgr = NexusSharp::at_mhz(2, 100.0);
+        simulate(&trace, &mut mgr, &HostConfig::with_workers(32));
+        let max_kol = mgr
+            .stats_summary()
+            .into_iter()
+            .find(|(k, _)| k == "max_kickoff_list")
+            .map(|(_, v)| v)
+            .unwrap_or(0.0);
+        println!(
+            "largest kick-off list observed: {max_kol:.0} waiting tasks (first pivot row fans out to {} tasks)",
+            dim - 1
+        );
+    }
+}

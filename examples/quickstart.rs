@@ -1,0 +1,51 @@
+//! Quickstart: simulate the macroblock-wavefront workload of Listing 1 under
+//! the ideal manager, Nexus++ and Nexus#, and print the resulting speedups and
+//! manager diagnostics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nexus::prelude::*;
+use nexus::trace::generators::micro;
+
+fn main() {
+    // The paper's motivating example (Listing 1): decoding one frame of
+    // macroblocks where each block depends on its left and up-right neighbours.
+    // Use a 68x120 grid (one full-HD frame) of fine 25 µs tasks.
+    let trace = micro::wavefront(68, 120, SimDuration::from_us(25));
+    println!(
+        "workload: {} tasks, {:.1} ms of total work, {} barrier(s)\n",
+        trace.task_count(),
+        trace.total_work().as_ms_f64(),
+        trace.barrier_count()
+    );
+
+    let available_parallelism =
+        nexus::taskgraph::refgraph::ParallelismProfile::of(&trace).average_parallelism();
+    println!("available parallelism (work / critical path): {available_parallelism:.1}\n");
+
+    for workers in [8usize, 16, 32, 64] {
+        let cfg = HostConfig::with_workers(workers);
+
+        let ideal = simulate(&trace, &mut IdealManager::new(), &cfg);
+        let mut pp = NexusPP::paper();
+        let pp_out = simulate(&trace, &mut pp, &cfg);
+        let mut sharp = NexusSharp::paper(6);
+        let sharp_out = simulate(&trace, &mut sharp, &cfg);
+
+        println!(
+            "{workers:>3} cores | ideal {:>6.2}x | Nexus++ {:>6.2}x | Nexus# (6 TGs) {:>6.2}x",
+            ideal.speedup(),
+            pp_out.speedup(),
+            sharp_out.speedup()
+        );
+    }
+
+    // Peek inside Nexus# after a run: distribution fairness and utilizations.
+    let cfg = HostConfig::with_workers(32);
+    let mut sharp = NexusSharp::paper(6);
+    simulate(&trace, &mut sharp, &cfg);
+    println!("\nNexus# internals after the 32-core run:");
+    for (key, value) in sharp.stats_summary() {
+        println!("  {key:<28} {value:.3}");
+    }
+}

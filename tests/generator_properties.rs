@@ -1,0 +1,114 @@
+//! Cross-generator properties: determinism, validity, scaling behaviour and
+//! schedulability of every workload generator.
+
+use nexus::taskgraph::refgraph::ParallelismProfile;
+use nexus::trace::generators::MbGrouping;
+use nexus::trace::{Benchmark, TraceStats};
+
+fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = Benchmark::table2_suite();
+    v.push(Benchmark::Gaussian { dim: 120 });
+    v
+}
+
+#[test]
+fn every_generator_is_deterministic_for_a_seed() {
+    for b in all_benchmarks() {
+        let a = b.trace_scaled(99, 0.02);
+        let c = b.trace_scaled(99, 0.02);
+        assert_eq!(a.ops.len(), c.ops.len(), "{}", b.name());
+        assert_eq!(a.total_work(), c.total_work(), "{}", b.name());
+        // Task parameter lists must match exactly.
+        for (x, y) in a.tasks().zip(c.tasks()) {
+            assert_eq!(x, y, "{}", b.name());
+        }
+    }
+}
+
+#[test]
+fn every_generator_produces_valid_traces_at_several_scales() {
+    for b in all_benchmarks() {
+        for scale in [0.01, 0.05, 0.2] {
+            let t = b.trace_scaled(7, scale);
+            t.validate().unwrap_or_else(|e| panic!("{} @ {scale}: {e}", b.name()));
+            assert!(t.task_count() > 0, "{} @ {scale}", b.name());
+            let s = TraceStats::of(&t);
+            assert!(s.min_params >= 1, "{}", b.name());
+            assert!(s.max_params <= 6, "{}: {}", b.name(), s.max_params);
+        }
+    }
+}
+
+#[test]
+fn scaling_preserves_average_task_size() {
+    for b in Benchmark::table2_suite() {
+        let small = TraceStats::of(&b.trace_scaled(3, 0.05));
+        let large = TraceStats::of(&b.trace_scaled(3, 0.3));
+        let ratio = small.avg_task_us / large.avg_task_us;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "{}: scaling changed the task-size distribution ({} vs {})",
+            b.name(),
+            small.avg_task_us,
+            large.avg_task_us
+        );
+    }
+}
+
+#[test]
+fn workloads_have_the_parallelism_structure_the_paper_describes() {
+    // c-ray: fully independent tasks => parallelism is close to the task count
+    // (slightly below it because task durations vary, so the critical path is
+    // the longest single task rather than the average one).
+    let cray = Benchmark::CRay.trace_scaled(1, 0.05);
+    let p = ParallelismProfile::of(&cray);
+    assert!(p.average_parallelism() > 0.8 * cray.task_count() as f64);
+
+    // rot-cc: pairs => parallelism about half the task count.
+    let rotcc = Benchmark::RotCc.trace_scaled(1, 0.02);
+    let p = ParallelismProfile::of(&rotcc);
+    let pairs = rotcc.task_count() as f64 / 2.0;
+    assert!(p.average_parallelism() < 0.75 * rotcc.task_count() as f64);
+    assert!(p.average_parallelism() > 0.4 * pairs);
+
+    // streamcluster: the heavy tail limits the ideal speedup to a few tens.
+    let sc = Benchmark::Streamcluster.trace_scaled(1, 0.005);
+    let p = ParallelismProfile::of(&sc);
+    assert!(
+        (15.0..70.0).contains(&p.average_parallelism()),
+        "streamcluster parallelism {}",
+        p.average_parallelism()
+    );
+
+    // h264dec 1x1: wavefront + entropy chain: parallelism well above 8 but far
+    // below the task count.
+    let h264 = Benchmark::H264Dec(MbGrouping::G1x1).trace_scaled(1, 0.1);
+    let p = ParallelismProfile::of(&h264);
+    assert!(p.average_parallelism() > 8.0);
+    assert!(p.average_parallelism() < 0.2 * h264.task_count() as f64);
+
+    // Gaussian elimination: wave i has n-i+1 tasks; average parallelism is
+    // about a third of the matrix dimension.
+    let g = Benchmark::Gaussian { dim: 120 }.trace_scaled(1, 1.0);
+    let p = ParallelismProfile::of(&g);
+    assert!((20.0..80.0).contains(&p.average_parallelism()), "{}", p.average_parallelism());
+}
+
+#[test]
+fn h264_taskwait_on_count_scales_with_rows_and_frames() {
+    let one_frame = Benchmark::H264Dec(MbGrouping::G1x1).trace_scaled(1, 0.1);
+    let s = TraceStats::of(&one_frame);
+    // Single frame => no reference frame => no taskwait-on.
+    assert_eq!(s.taskwait_ons, 0);
+    let two_frames = Benchmark::H264Dec(MbGrouping::G1x1).trace_scaled(1, 0.2);
+    let s2 = TraceStats::of(&two_frames);
+    assert_eq!(s2.taskwait_ons, 68);
+}
+
+#[test]
+fn gaussian_dimension_scaling_is_quadratic_in_task_count() {
+    let small = Benchmark::Gaussian { dim: 100 }.trace_scaled(1, 1.0);
+    let large = Benchmark::Gaussian { dim: 200 }.trace_scaled(1, 1.0);
+    let ratio = large.task_count() as f64 / small.task_count() as f64;
+    assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+}

@@ -1,0 +1,115 @@
+//! Integration: every task manager runs every (scaled) paper workload to
+//! completion, retires every task, and produces internally consistent
+//! outcomes.
+
+use nexus::prelude::*;
+use nexus::trace::generators::MbGrouping;
+
+fn scaled_suite() -> Vec<Trace> {
+    vec![
+        Benchmark::CRay.trace_scaled(1, 0.05),
+        Benchmark::RotCc.trace_scaled(2, 0.02),
+        Benchmark::SparseLu.trace_scaled(3, 0.01),
+        Benchmark::Streamcluster.trace_scaled(4, 0.004),
+        Benchmark::H264Dec(MbGrouping::G1x1).trace_scaled(5, 0.01),
+        Benchmark::H264Dec(MbGrouping::G8x8).trace_scaled(5, 0.1),
+        Benchmark::Gaussian { dim: 80 }.trace_scaled(6, 1.0),
+    ]
+}
+
+fn check_outcome(trace: &Trace, out: &SimOutcome, workers: usize) {
+    assert_eq!(out.tasks as usize, trace.task_count(), "{}: task count", out.manager);
+    assert_eq!(out.total_work, trace.total_work());
+    assert!(out.makespan >= trace.total_work() / (workers as u64 + 1),
+        "{}: makespan below the physical lower bound", out.manager);
+    assert!(out.speedup() <= workers as f64 + 1e-6,
+        "{}: speedup {} exceeds the core count", out.manager, out.speedup());
+    assert!(out.speedup() > 0.0);
+}
+
+#[test]
+fn ideal_manager_completes_every_workload() {
+    for trace in scaled_suite() {
+        for workers in [1usize, 7, 32] {
+            let out = simulate(&trace, &mut IdealManager::new(), &HostConfig::with_workers(workers));
+            check_outcome(&trace, &out, workers);
+        }
+    }
+}
+
+#[test]
+fn nexus_sharp_completes_every_workload_at_every_tg_count() {
+    for trace in scaled_suite() {
+        for tgs in [1usize, 2, 4, 6, 8] {
+            let out = simulate(&trace, &mut NexusSharp::paper(tgs), &HostConfig::with_workers(16));
+            check_outcome(&trace, &out, 16);
+        }
+    }
+}
+
+#[test]
+fn nexus_pp_completes_every_workload() {
+    for trace in scaled_suite() {
+        let out = simulate(&trace, &mut NexusPP::paper(), &HostConfig::with_workers(16));
+        check_outcome(&trace, &out, 16);
+    }
+}
+
+#[test]
+fn nanos_completes_every_workload() {
+    for trace in scaled_suite() {
+        let mut mgr = NanosRuntime::for_benchmark(&trace.name, 16);
+        let out = simulate(&trace, &mut mgr, &HostConfig::with_workers(16));
+        check_outcome(&trace, &out, 16);
+    }
+}
+
+#[test]
+fn no_manager_beats_the_ideal_manager() {
+    for trace in scaled_suite() {
+        let cfg = HostConfig::with_workers(24);
+        let ideal = simulate(&trace, &mut IdealManager::new(), &cfg);
+        for out in [
+            simulate(&trace, &mut NexusSharp::paper(6), &cfg),
+            simulate(&trace, &mut NexusPP::paper(), &cfg),
+            simulate(&trace, &mut NanosRuntime::for_benchmark(&trace.name, 24), &cfg),
+        ] {
+            // Greedy list scheduling is subject to Graham's anomalies: delaying
+            // a ready notification can occasionally *improve* the packing, so
+            // allow a small tolerance instead of strict dominance.
+            assert!(
+                out.makespan.as_us_f64() >= 0.97 * ideal.makespan.as_us_f64(),
+                "{} on {}: {} beat the ideal {} by more than the anomaly tolerance",
+                out.manager,
+                trace.name,
+                out.makespan,
+                ideal.makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn speedup_is_monotone_in_core_count_for_hardware_managers() {
+    // More cores never hurt in this model (no inter-core interference).
+    let trace = Benchmark::SparseLu.trace_scaled(9, 0.005);
+    for build in [
+        |_n: usize| -> Box<dyn TaskManager> { Box::new(NexusSharp::paper(6)) },
+        |_n: usize| -> Box<dyn TaskManager> { Box::new(NexusPP::paper()) },
+    ] {
+        let mut last = 0.0;
+        for workers in [1usize, 2, 4, 8, 16, 32] {
+            let mut mgr = build(workers);
+            let out = simulate(&trace, mgr.as_mut(), &HostConfig::with_workers(workers));
+            // Allow a small tolerance: greedy dispatch with barriers can show
+            // minor scheduling anomalies when cores are added.
+            assert!(
+                out.speedup() >= last * 0.97,
+                "speedup dropped from {last} to {} at {workers} cores for {}",
+                out.speedup(),
+                out.manager
+            );
+            last = out.speedup();
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration: the *real* threaded runtime (`nexus-rt`) executes the
+//! dependency structure of the paper's generated workloads correctly — every
+//! task runs exactly once and never before any of its predecessors (as defined
+//! by the reference dependency graph built from the trace).
+
+use nexus::prelude::*;
+use nexus::taskgraph::ReferenceGraph;
+use nexus::trace::generators::MbGrouping;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Replays a trace's task graph on the real runtime. Task bodies record a
+/// global completion sequence number; afterwards we assert that every task's
+/// sequence number is greater than those of all of its direct dependencies.
+fn replay_and_check(trace: &Trace, workers: usize) {
+    // Build the oracle dependency lists.
+    let mut oracle = ReferenceGraph::new();
+    for task in trace.tasks() {
+        oracle.insert(task);
+    }
+
+    let n = trace.task_count();
+    let rt = Runtime::with_shards(workers, 6).unwrap();
+    let finish_order: Arc<Vec<AtomicU64>> =
+        Arc::new((0..n).map(|_| AtomicU64::new(u64::MAX)).collect());
+    let counter = Arc::new(AtomicU64::new(0));
+    let executed = Arc::new(AtomicUsize::new(0));
+
+    for task in trace.tasks() {
+        let idx = task.id.0 as usize;
+        let finish_order = Arc::clone(&finish_order);
+        let counter = Arc::clone(&counter);
+        let executed = Arc::clone(&executed);
+        let mut spec = TaskSpec::new(move || {
+            let seq = counter.fetch_add(1, Ordering::SeqCst);
+            finish_order[idx].store(seq, Ordering::SeqCst);
+            executed.fetch_add(1, Ordering::SeqCst);
+        });
+        for p in &task.params {
+            spec = match p.dir {
+                nexus::trace::Direction::In => spec.input(p.addr),
+                nexus::trace::Direction::Out => spec.output(p.addr),
+                nexus::trace::Direction::InOut => spec.inout(p.addr),
+            };
+        }
+        rt.submit(spec);
+    }
+    rt.taskwait();
+
+    assert_eq!(executed.load(Ordering::SeqCst), n, "{}: not all tasks ran", trace.name);
+    for task in trace.tasks() {
+        let own = finish_order[task.id.0 as usize].load(Ordering::SeqCst);
+        assert_ne!(own, u64::MAX, "{}: task {} never ran", trace.name, task.id);
+        for dep in oracle.direct_deps(task.id).unwrap_or(&[]) {
+            let dep_seq = finish_order[dep.0 as usize].load(Ordering::SeqCst);
+            assert!(
+                dep_seq < own,
+                "{}: task {} (seq {}) finished before its dependency {} (seq {})",
+                trace.name,
+                task.id,
+                own,
+                dep,
+                dep_seq
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_replays_the_wavefront_decoder() {
+    let trace = Benchmark::H264Dec(MbGrouping::G4x4).trace_scaled(3, 0.05);
+    replay_and_check(&trace, 8);
+}
+
+#[test]
+fn runtime_replays_sparselu() {
+    let trace = Benchmark::SparseLu.trace_scaled(5, 0.005);
+    replay_and_check(&trace, 6);
+}
+
+#[test]
+fn runtime_replays_gaussian_elimination_fan_out() {
+    let trace = Benchmark::Gaussian { dim: 60 }.trace_scaled(7, 1.0);
+    replay_and_check(&trace, 4);
+}
+
+#[test]
+fn runtime_replays_streamcluster_groups() {
+    let trace = Benchmark::Streamcluster.trace_scaled(9, 0.002);
+    replay_and_check(&trace, 8);
+}
