@@ -33,7 +33,13 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: distribution policy under Nexus# (6 TGs @ 55.56 MHz)",
-        &["benchmark", "policy", "max speedup", "speedup @ 32c", "addr imbalance"],
+        &[
+            "benchmark",
+            "policy",
+            "max speedup",
+            "speedup @ 32c",
+            "addr imbalance",
+        ],
     );
 
     for bench in benches {

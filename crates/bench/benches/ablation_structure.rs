@@ -31,7 +31,10 @@ fn main() {
     let cores = hw_core_counts();
 
     let mut variants: Vec<(String, Variant)> = Vec::new();
-    variants.push(("Nexus++ (in-order pool, no taskwait-on)".into(), Variant::PP(NexusPPConfig::paper())));
+    variants.push((
+        "Nexus++ (in-order pool, no taskwait-on)".into(),
+        Variant::PP(NexusPPConfig::paper()),
+    ));
     let mut freelist = NexusPPConfig::paper();
     freelist.retirement = RetirementOrder::FreeList;
     variants.push(("Nexus++ + free-list pool".into(), Variant::PP(freelist)));
@@ -58,12 +61,8 @@ fn main() {
         );
         for (name, variant) in &variants {
             let curve = match variant {
-                Variant::PP(cfg) => {
-                    speedup_curve(&trace, &cores, |_| NexusPP::new(*cfg))
-                }
-                Variant::Sharp(cfg) => {
-                    speedup_curve(&trace, &cores, |_| NexusSharp::new(*cfg))
-                }
+                Variant::PP(cfg) => speedup_curve(&trace, &cores, |_| NexusPP::new(*cfg)),
+                Variant::Sharp(cfg) => speedup_curve(&trace, &cores, |_| NexusSharp::new(*cfg)),
             };
             table.row(vec![
                 name.clone(),

@@ -25,8 +25,14 @@ fn main() {
     let policies = [
         ("XOR hash (paper)", DistributionPolicy::XorHash),
         ("modulo", DistributionPolicy::Modulo),
-        ("round-robin (Fig. 3A best case)", DistributionPolicy::RoundRobin),
-        ("single graph (Fig. 3B worst case)", DistributionPolicy::SingleGraph),
+        (
+            "round-robin (Fig. 3A best case)",
+            DistributionPolicy::RoundRobin,
+        ),
+        (
+            "single graph (Fig. 3B worst case)",
+            DistributionPolicy::SingleGraph,
+        ),
     ];
     let benches = [
         Benchmark::CRay,

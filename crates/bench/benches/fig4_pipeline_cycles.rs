@@ -12,7 +12,9 @@
 
 use nexus_bench::paper::{MICRO_BENCH_NEXUS_SHARP_CYCLES, MICRO_BENCH_TASK_SUPERSCALAR_CYCLES};
 use nexus_bench::report::Table;
-use nexus_core::pipeline::{insertion_span_cycles, micro_benchmark_cycles, sharp_pipeline_schedule, PipelineCase};
+use nexus_core::pipeline::{
+    insertion_span_cycles, micro_benchmark_cycles, sharp_pipeline_schedule, PipelineCase,
+};
 use nexus_core::NexusSharpConfig;
 use nexus_pp::{pipeline_schedule, NexusPPConfig};
 
@@ -34,13 +36,24 @@ fn main() {
             format!("{}", s.cycles()),
         ]);
     }
-    t1.row(vec!["TOTAL".into(), "0".into(), format!("{total}"), format!("{total}")]);
+    t1.row(vec![
+        "TOTAL".into(),
+        "0".into(),
+        format!("{total}"),
+        format!("{total}"),
+    ]);
     t1.print();
 
     // --- Fig. 4 / Fig. 5: Nexus# pipeline ----------------------------------
     for (title, case) in [
-        ("Fig. 4 — Nexus# average-case pipeline, one 4-parameter task (4 TGs)", PipelineCase::Average),
-        ("Fig. 5 — Nexus# best-case pipeline, one 4-parameter task (4 TGs)", PipelineCase::BestCase),
+        (
+            "Fig. 4 — Nexus# average-case pipeline, one 4-parameter task (4 TGs)",
+            PipelineCase::Average,
+        ),
+        (
+            "Fig. 5 — Nexus# best-case pipeline, one 4-parameter task (4 TGs)",
+            PipelineCase::BestCase,
+        ),
     ] {
         let (spans, total) = sharp_pipeline_schedule(&sharp4, 1, 4, case);
         let mut t = Table::new(title, &["stage", "param", "start", "end", "length"]);
@@ -53,7 +66,13 @@ fn main() {
                 format!("{}", s.cycles()),
             ]);
         }
-        t.row(vec!["TOTAL".into(), "-".into(), "0".into(), format!("{total}"), format!("{total}")]);
+        t.row(vec![
+            "TOTAL".into(),
+            "-".into(),
+            "0".into(),
+            format!("{total}"),
+            format!("{total}"),
+        ]);
         t.print();
     }
 
@@ -69,12 +88,18 @@ fn main() {
     ]);
     head.row(vec![
         "Nexus# insertion span, average case (cycles)".into(),
-        format!("{}", insertion_span_cycles(&sharp4, 4, PipelineCase::Average)),
+        format!(
+            "{}",
+            insertion_span_cycles(&sharp4, 4, PipelineCase::Average)
+        ),
         "11".into(),
     ]);
     head.row(vec![
         "Nexus# insertion span, best case (cycles)".into(),
-        format!("{}", insertion_span_cycles(&sharp4, 4, PipelineCase::BestCase)),
+        format!(
+            "{}",
+            insertion_span_cycles(&sharp4, 4, PipelineCase::BestCase)
+        ),
         "5".into(),
     ]);
     head.row(vec![

@@ -24,7 +24,10 @@ fn main() {
     let tg_counts = [1usize, 2, 4, 6, 8];
     let model = ResourceModel::paper_calibrated();
 
-    for (part, fixed_100mhz) in [("(a) all configurations at 100 MHz", true), ("(b) at synthesis test frequency", false)] {
+    for (part, fixed_100mhz) in [
+        ("(a) all configurations at 100 MHz", true),
+        ("(b) at synthesis test frequency", false),
+    ] {
         for grouping in MbGrouping::all() {
             let bench = Benchmark::H264Dec(grouping);
             let mut headers: Vec<String> = vec!["configuration".to_string()];
@@ -48,10 +51,15 @@ fn main() {
                     100.0
                 } else {
                     model
-                        .estimate(ManagerConfig::NexusSharp { task_graphs: tgs as u32 })
+                        .estimate(ManagerConfig::NexusSharp {
+                            task_graphs: tgs as u32,
+                        })
                         .test_freq_mhz
                 };
-                let kind = ManagerKind::NexusSharpAtMhz { task_graphs: tgs, mhz };
+                let kind = ManagerKind::NexusSharpAtMhz {
+                    task_graphs: tgs,
+                    mhz,
+                };
                 let curve = curve_for(bench, kind, &cores, scale, 42);
                 let mut row = vec![format!("{tgs} TGs @ {mhz:.2} MHz")];
                 for &c in &cores {

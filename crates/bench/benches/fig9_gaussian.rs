@@ -14,7 +14,9 @@
 //! exact sizes including the 4.5-million-task 3000×3000 instance.
 
 use nexus_bench::managers::ManagerKind;
-use nexus_bench::paper::{FIG9_GAUSSIAN_3000_SPEEDUP, FIG9_IMPROVEMENT_250, FIG9_IMPROVEMENT_LARGE};
+use nexus_bench::paper::{
+    FIG9_GAUSSIAN_3000_SPEEDUP, FIG9_IMPROVEMENT_250, FIG9_IMPROVEMENT_LARGE,
+};
 use nexus_bench::report::Table;
 use nexus_bench::runner::{bench_scale, gaussian_core_counts};
 use nexus_host::{simulate, HostConfig};
@@ -26,8 +28,14 @@ fn main() {
     let cores = gaussian_core_counts();
     let managers = [
         ManagerKind::NexusPP,
-        ManagerKind::NexusSharpAtMhz { task_graphs: 1, mhz: 100.0 },
-        ManagerKind::NexusSharpAtMhz { task_graphs: 2, mhz: 100.0 },
+        ManagerKind::NexusSharpAtMhz {
+            task_graphs: 1,
+            mhz: 100.0,
+        },
+        ManagerKind::NexusSharpAtMhz {
+            task_graphs: 2,
+            mhz: 100.0,
+        },
     ];
 
     let mut improvements: Vec<(String, f64)> = Vec::new();
@@ -73,7 +81,10 @@ fn main() {
         }
         table.print();
 
-        improvements.push((trace.name.clone(), best_per_manager[2] / best_per_manager[0] - 1.0));
+        improvements.push((
+            trace.name.clone(),
+            best_per_manager[2] / best_per_manager[0] - 1.0,
+        ));
         eprintln!("  finished {}", trace.name);
     }
 
@@ -82,7 +93,11 @@ fn main() {
         &["matrix", "improvement (measured)", "paper"],
     );
     for (i, (name, imp)) in improvements.iter().enumerate() {
-        let paper = if i == 0 { FIG9_IMPROVEMENT_250 } else { FIG9_IMPROVEMENT_LARGE };
+        let paper = if i == 0 {
+            FIG9_IMPROVEMENT_250
+        } else {
+            FIG9_IMPROVEMENT_LARGE
+        };
         summary.row(vec![
             name.clone(),
             format!("{:+.0}%", imp * 100.0),

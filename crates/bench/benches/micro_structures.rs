@@ -41,7 +41,11 @@ fn bench_dependency_tracker(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for contended in [false, true] {
-        let name = if contended { "contended_chain" } else { "independent" };
+        let name = if contended {
+            "contended_chain"
+        } else {
+            "independent"
+        };
         group.throughput(Throughput::Elements(4096));
         group.bench_function(BenchmarkId::new("insert_retire", name), |b| {
             b.iter(|| {
@@ -100,7 +104,14 @@ fn bench_end_to_end_simulation(c: &mut Criterion) {
     });
     group.bench_function("nanos", |b| {
         b.iter(|| {
-            black_box(simulate(&trace, &mut NanosRuntime::for_benchmark(&trace.name, 32), &cfg).makespan)
+            black_box(
+                simulate(
+                    &trace,
+                    &mut NanosRuntime::for_benchmark(&trace.name, 32),
+                    &cfg,
+                )
+                .makespan,
+            )
         })
     });
     group.bench_function("nexus_pp", |b| {

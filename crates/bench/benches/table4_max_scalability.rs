@@ -48,7 +48,9 @@ fn main() {
             fmt_speedup(max_of("Nanos")),
             paper.map(|p| fmt_speedup(p.nanos_max)).unwrap_or_default(),
             fmt_speedup(max_of("Nexus++")),
-            paper.map(|p| fmt_speedup(p.nexus_pp_max)).unwrap_or_default(),
+            paper
+                .map(|p| fmt_speedup(p.nexus_pp_max))
+                .unwrap_or_default(),
             fmt_speedup(max_of("Nexus# 6TG")),
             paper
                 .map(|p| fmt_speedup(p.nexus_sharp_max))

@@ -19,7 +19,9 @@ use std::time::Instant;
 
 fn main() {
     let scale = bench_scale().min(0.05);
-    println!("quick-report: workload scale = {scale} (set NEXUS_BENCH_SCALE / NEXUS_FULL for more)\n");
+    println!(
+        "quick-report: workload scale = {scale} (set NEXUS_BENCH_SCALE / NEXUS_FULL for more)\n"
+    );
     let managers = ManagerKind::fig8_set();
     let mut table = Table::new(
         "Quick evaluation: max speedup (measured | paper Table IV)",
@@ -52,9 +54,13 @@ fn main() {
             fmt_speedup(get("Nanos")),
             paper.map(|p| fmt_speedup(p.nanos_max)).unwrap_or_default(),
             fmt_speedup(get("Nexus++")),
-            paper.map(|p| fmt_speedup(p.nexus_pp_max)).unwrap_or_default(),
+            paper
+                .map(|p| fmt_speedup(p.nexus_pp_max))
+                .unwrap_or_default(),
             fmt_speedup(get("Nexus# 6TG")),
-            paper.map(|p| fmt_speedup(p.nexus_sharp_max)).unwrap_or_default(),
+            paper
+                .map(|p| fmt_speedup(p.nexus_sharp_max))
+                .unwrap_or_default(),
         ]);
         eprintln!("  [{}] done in {:?}", bench.name(), t0.elapsed());
     }

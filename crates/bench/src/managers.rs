@@ -52,14 +52,16 @@ impl ManagerKind {
     pub fn build(&self, benchmark: &str, workers: usize) -> AnyManager {
         match self {
             ManagerKind::Ideal => AnyManager::Ideal(IdealManager::new()),
-            ManagerKind::Nanos => AnyManager::Nanos(NanosRuntime::for_benchmark(benchmark, workers)),
+            ManagerKind::Nanos => {
+                AnyManager::Nanos(NanosRuntime::for_benchmark(benchmark, workers))
+            }
             ManagerKind::NexusPP => AnyManager::NexusPP(NexusPP::new(NexusPPConfig::paper())),
             ManagerKind::NexusSharp { task_graphs } => {
                 AnyManager::NexusSharp(NexusSharp::new(NexusSharpConfig::paper(*task_graphs)))
             }
-            ManagerKind::NexusSharpAtMhz { task_graphs, mhz } => {
-                AnyManager::NexusSharp(NexusSharp::new(NexusSharpConfig::at_mhz(*task_graphs, *mhz)))
-            }
+            ManagerKind::NexusSharpAtMhz { task_graphs, mhz } => AnyManager::NexusSharp(
+                NexusSharp::new(NexusSharpConfig::at_mhz(*task_graphs, *mhz)),
+            ),
         }
     }
 
@@ -160,9 +162,16 @@ mod tests {
     #[test]
     fn labels_and_construction() {
         assert_eq!(ManagerKind::Ideal.label(), "ideal");
-        assert_eq!(ManagerKind::NexusSharp { task_graphs: 6 }.label(), "Nexus# 6TG");
         assert_eq!(
-            ManagerKind::NexusSharpAtMhz { task_graphs: 2, mhz: 100.0 }.label(),
+            ManagerKind::NexusSharp { task_graphs: 6 }.label(),
+            "Nexus# 6TG"
+        );
+        assert_eq!(
+            ManagerKind::NexusSharpAtMhz {
+                task_graphs: 2,
+                mhz: 100.0
+            }
+            .label(),
             "Nexus# 2TG@100MHz"
         );
         let m = ManagerKind::NexusSharp { task_graphs: 4 }.build("c-ray", 8);

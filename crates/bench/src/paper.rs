@@ -16,19 +16,61 @@ pub struct Table4Row {
 
 /// Table IV as printed in the paper.
 pub const TABLE4: &[Table4Row] = &[
-    Table4Row { benchmark: "c-ray", nanos_max: 31.4, nexus_pp_max: 60.4, nexus_sharp_max: 194.0 },
-    Table4Row { benchmark: "rot-cc", nanos_max: 24.5, nexus_pp_max: 254.0, nexus_sharp_max: 254.0 },
-    Table4Row { benchmark: "sparselu", nanos_max: 24.5, nexus_pp_max: 84.9, nexus_sharp_max: 94.4 },
-    Table4Row { benchmark: "streamcluster", nanos_max: 4.9, nexus_pp_max: 7.9, nexus_sharp_max: 39.6 },
-    Table4Row { benchmark: "h264dec-1x1-10f", nanos_max: 0.7, nexus_pp_max: 2.2, nexus_sharp_max: 6.9 },
-    Table4Row { benchmark: "h264dec-2x2-10f", nanos_max: 1.4, nexus_pp_max: 2.7, nexus_sharp_max: 7.7 },
-    Table4Row { benchmark: "h264dec-4x4-10f", nanos_max: 3.6, nexus_pp_max: 2.7, nexus_sharp_max: 6.8 },
-    Table4Row { benchmark: "h264dec-8x8-10f", nanos_max: 3.9, nexus_pp_max: 2.5, nexus_sharp_max: 4.7 },
+    Table4Row {
+        benchmark: "c-ray",
+        nanos_max: 31.4,
+        nexus_pp_max: 60.4,
+        nexus_sharp_max: 194.0,
+    },
+    Table4Row {
+        benchmark: "rot-cc",
+        nanos_max: 24.5,
+        nexus_pp_max: 254.0,
+        nexus_sharp_max: 254.0,
+    },
+    Table4Row {
+        benchmark: "sparselu",
+        nanos_max: 24.5,
+        nexus_pp_max: 84.9,
+        nexus_sharp_max: 94.4,
+    },
+    Table4Row {
+        benchmark: "streamcluster",
+        nanos_max: 4.9,
+        nexus_pp_max: 7.9,
+        nexus_sharp_max: 39.6,
+    },
+    Table4Row {
+        benchmark: "h264dec-1x1-10f",
+        nanos_max: 0.7,
+        nexus_pp_max: 2.2,
+        nexus_sharp_max: 6.9,
+    },
+    Table4Row {
+        benchmark: "h264dec-2x2-10f",
+        nanos_max: 1.4,
+        nexus_pp_max: 2.7,
+        nexus_sharp_max: 7.7,
+    },
+    Table4Row {
+        benchmark: "h264dec-4x4-10f",
+        nanos_max: 3.6,
+        nexus_pp_max: 2.7,
+        nexus_sharp_max: 6.8,
+    },
+    Table4Row {
+        benchmark: "h264dec-8x8-10f",
+        nanos_max: 3.9,
+        nexus_pp_max: 2.5,
+        nexus_sharp_max: 4.7,
+    },
 ];
 
 /// Looks up the Table IV row for a benchmark (prefix match).
 pub fn table4_row(benchmark: &str) -> Option<&'static Table4Row> {
-    TABLE4.iter().find(|r| benchmark.starts_with(r.benchmark) || r.benchmark.starts_with(benchmark))
+    TABLE4
+        .iter()
+        .find(|r| benchmark.starts_with(r.benchmark) || r.benchmark.starts_with(benchmark))
 }
 
 /// Table II as printed in the paper: (benchmark, #tasks, total work ms,
@@ -90,7 +132,9 @@ mod tests {
             assert!(row.nexus_sharp_max >= row.nexus_pp_max);
             // Nanos beats Nexus++ only where grouping already removed the
             // pressure (h264dec-4x4/8x8) — the paper's observation.
-            if !row.benchmark.starts_with("h264dec-4x4") && !row.benchmark.starts_with("h264dec-8x8") {
+            if !row.benchmark.starts_with("h264dec-4x4")
+                && !row.benchmark.starts_with("h264dec-8x8")
+            {
                 assert!(row.nexus_pp_max >= row.nanos_max, "{}", row.benchmark);
             }
         }

@@ -22,7 +22,10 @@ pub fn gaussian_core_counts() -> Vec<usize> {
 /// The workload scale factor used by the benches: `NEXUS_FULL=1` forces 1.0,
 /// otherwise `NEXUS_BENCH_SCALE` (default 0.1).
 pub fn bench_scale() -> f64 {
-    if std::env::var("NEXUS_FULL").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("NEXUS_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         return 1.0;
     }
     std::env::var("NEXUS_BENCH_SCALE")
@@ -87,7 +90,10 @@ mod tests {
         // ideal speedup because tasks are 6 ms.
         let curves = curves_for(
             Benchmark::CRay,
-            &[ManagerKind::Ideal, ManagerKind::NexusSharp { task_graphs: 2 }],
+            &[
+                ManagerKind::Ideal,
+                ManagerKind::NexusSharp { task_graphs: 2 },
+            ],
             0.02,
             7,
         );

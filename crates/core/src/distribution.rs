@@ -143,6 +143,23 @@ mod tests {
     }
 
     #[test]
+    fn xor_hash_covers_every_task_graph_on_uniform_keys() {
+        // No task-graph unit may starve: a uniform cache-line-strided keyset
+        // must hit all N task graphs for every supported N.
+        for n in [2usize, 3, 4, 6, 8, 16, 32] {
+            let region = AddrRegion::benchmark_array(0);
+            let mut hits = vec![0usize; n];
+            for i in 0..4096 {
+                hits[xor_hash_tg(region.addr(i), n)] += 1;
+            }
+            assert!(
+                hits.iter().all(|&h| h > 0),
+                "{n} TGs: empty task graph in {hits:?}"
+            );
+        }
+    }
+
+    #[test]
     fn xor_hash_spreads_strided_addresses_evenly() {
         // The paper's observation: application addresses differ only in the low
         // 20 bits. A cache-line-strided array must spread well over 2..=8 TGs.

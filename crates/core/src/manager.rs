@@ -54,7 +54,9 @@ impl NexusSharp {
             clock: config.clock(),
             distributor: Distributor::new(config.distribution, config.task_graphs),
             input_parser: SerialResource::new(),
-            tg_engines: (0..config.task_graphs).map(|_| SerialResource::new()).collect(),
+            tg_engines: (0..config.task_graphs)
+                .map(|_| SerialResource::new())
+                .collect(),
             arbiter: SerialResource::new(),
             writeback: SerialResource::new(),
             trackers: (0..config.task_graphs)
@@ -193,8 +195,7 @@ impl TaskManager for NexusSharp {
 
         // The arbiter concludes the final dependence count once the last
         // parameter's result has been gathered.
-        let (ready, gathered_at) =
-            decision.expect("every task has at least one parameter");
+        let (ready, gathered_at) = decision.expect("every task has at least one parameter");
         let decide = self.arbiter.acquire_after(
             gathered_at,
             gathered_at,
@@ -264,7 +265,10 @@ impl TaskManager for NexusSharp {
 
         self.pool.finish(task);
         self.tasks_retired += 1;
-        self.pending.push(ManagerEvent::Retired { task, at: retire_at });
+        self.pending.push(ManagerEvent::Retired {
+            task,
+            at: retire_at,
+        });
 
         // The worker is released once its notification has been accepted.
         recv.end
@@ -276,7 +280,11 @@ impl TaskManager for NexusSharp {
 
     fn stats_summary(&self) -> Vec<(String, f64)> {
         let horizon = self.last_activity;
-        let tg_utils: Vec<f64> = self.tg_engines.iter().map(|e| e.utilization(horizon)).collect();
+        let tg_utils: Vec<f64> = self
+            .tg_engines
+            .iter()
+            .map(|e| e.utilization(horizon))
+            .collect();
         let max_tg_util = tg_utils.iter().copied().fold(0.0, f64::max);
         let avg_tg_util = if tg_utils.is_empty() {
             0.0
@@ -293,13 +301,28 @@ impl TaskManager for NexusSharp {
             ("tasks_submitted".into(), self.tasks_submitted as f64),
             ("tasks_retired".into(), self.tasks_retired as f64),
             ("ready_immediately".into(), self.ready_immediately as f64),
-            ("input_parser_utilization".into(), self.input_parser.utilization(horizon)),
-            ("arbiter_utilization".into(), self.arbiter.utilization(horizon)),
-            ("writeback_utilization".into(), self.writeback.utilization(horizon)),
+            (
+                "input_parser_utilization".into(),
+                self.input_parser.utilization(horizon),
+            ),
+            (
+                "arbiter_utilization".into(),
+                self.arbiter.utilization(horizon),
+            ),
+            (
+                "writeback_utilization".into(),
+                self.writeback.utilization(horizon),
+            ),
             ("tg_utilization_avg".into(), avg_tg_util),
             ("tg_utilization_max".into(), max_tg_util),
-            ("distribution_imbalance".into(), self.distributor.balance().imbalance()),
-            ("pool_peak_occupancy".into(), self.pool.stats().peak_occupancy as f64),
+            (
+                "distribution_imbalance".into(),
+                self.distributor.balance().imbalance(),
+            ),
+            (
+                "pool_peak_occupancy".into(),
+                self.pool.stats().peak_occupancy as f64,
+            ),
             ("max_kickoff_list".into(), max_kickoff as f64),
         ]
     }
@@ -418,8 +441,7 @@ mod tests {
         let trace = micro::independent_tasks(100, 3, SimDuration::from_us(5));
         let mut m = NexusSharp::paper(4);
         simulate(&trace, &mut m, &HostConfig::with_workers(8));
-        let stats: std::collections::HashMap<String, f64> =
-            m.stats_summary().into_iter().collect();
+        let stats: std::collections::HashMap<String, f64> = m.stats_summary().into_iter().collect();
         assert_eq!(stats["tasks_submitted"], 100.0);
         assert_eq!(stats["tasks_retired"], 100.0);
         assert!(stats["distribution_imbalance"] >= 1.0);
@@ -440,8 +462,11 @@ mod tests {
         assert_eq!(out.tasks as usize, trace.task_count());
         let mut m = NexusSharp::paper(2);
         simulate(&trace, &mut m, &HostConfig::with_workers(16));
-        let stats: std::collections::HashMap<String, f64> =
-            m.stats_summary().into_iter().collect();
-        assert!(stats["max_kickoff_list"] >= 50.0, "{}", stats["max_kickoff_list"]);
+        let stats: std::collections::HashMap<String, f64> = m.stats_summary().into_iter().collect();
+        assert!(
+            stats["max_kickoff_list"] >= 50.0,
+            "{}",
+            stats["max_kickoff_list"]
+        );
     }
 }

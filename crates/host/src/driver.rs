@@ -180,8 +180,7 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
                         let satisfied = match target {
                             Some(t) => retired.contains(&t),
                             None => {
-                                manager.supports_taskwait_on()
-                                    || retired.len() as u64 == submitted
+                                manager.supports_taskwait_on() || retired.len() as u64 == submitted
                             }
                         };
                         if satisfied {

@@ -41,14 +41,20 @@ impl TaskManager for IdealManager {
 
     fn submit(&mut self, task: &TaskDescriptor, now: SimTime) -> SimTime {
         if self.graph.insert(task) {
-            self.pending.push(ManagerEvent::Ready { task: task.id, at: now });
+            self.pending.push(ManagerEvent::Ready {
+                task: task.id,
+                at: now,
+            });
         }
         now // zero submission cost
     }
 
     fn finish(&mut self, task: TaskId, now: SimTime) -> SimTime {
         for ready in self.graph.retire(task) {
-            self.pending.push(ManagerEvent::Ready { task: ready, at: now });
+            self.pending.push(ManagerEvent::Ready {
+                task: ready,
+                at: now,
+            });
         }
         self.pending.push(ManagerEvent::Retired { task, at: now });
         now // zero notification cost
@@ -64,7 +70,10 @@ mod tests {
     use super::*;
     use nexus_sim::SimDuration;
 
-    fn task(id: u64, build: impl FnOnce(nexus_trace::task::TaskBuilder) -> nexus_trace::task::TaskBuilder) -> TaskDescriptor {
+    fn task(
+        id: u64,
+        build: impl FnOnce(nexus_trace::task::TaskBuilder) -> nexus_trace::task::TaskBuilder,
+    ) -> TaskDescriptor {
         build(TaskDescriptor::builder(id).duration(SimDuration::from_us(5))).build()
     }
 
@@ -77,7 +86,10 @@ mod tests {
         let events = m.drain_events();
         assert_eq!(
             events,
-            vec![ManagerEvent::Ready { task: TaskId(0), at: SimTime::ZERO }]
+            vec![ManagerEvent::Ready {
+                task: TaskId(0),
+                at: SimTime::ZERO
+            }]
         );
     }
 
@@ -91,8 +103,14 @@ mod tests {
         let worker_free = m.finish(TaskId(0), t_fin);
         assert_eq!(worker_free, t_fin);
         let events = m.drain_events();
-        assert!(events.contains(&ManagerEvent::Ready { task: TaskId(1), at: t_fin }));
-        assert!(events.contains(&ManagerEvent::Retired { task: TaskId(0), at: t_fin }));
+        assert!(events.contains(&ManagerEvent::Ready {
+            task: TaskId(1),
+            at: t_fin
+        }));
+        assert!(events.contains(&ManagerEvent::Retired {
+            task: TaskId(0),
+            at: t_fin
+        }));
     }
 
     #[test]

@@ -104,7 +104,21 @@ mod tests {
     #[test]
     fn event_timestamps_are_accessible() {
         let t = SimTime::from_ps(123);
-        assert_eq!(ManagerEvent::Ready { task: TaskId(1), at: t }.at(), t);
-        assert_eq!(ManagerEvent::Retired { task: TaskId(1), at: t }.at(), t);
+        assert_eq!(
+            ManagerEvent::Ready {
+                task: TaskId(1),
+                at: t
+            }
+            .at(),
+            t
+        );
+        assert_eq!(
+            ManagerEvent::Retired {
+                task: TaskId(1),
+                at: t
+            }
+            .at(),
+            t
+        );
     }
 }

@@ -50,7 +50,10 @@ impl SpeedupCurve {
 
     /// The speedup at a specific core count, if simulated.
     pub fn at(&self, cores: usize) -> Option<f64> {
-        self.points.iter().find(|p| p.cores == cores).map(|p| p.speedup)
+        self.points
+            .iter()
+            .find(|p| p.cores == cores)
+            .map(|p| p.speedup)
     }
 
     /// Renders the curve as a compact single-line series (used by the
@@ -61,7 +64,12 @@ impl SpeedupCurve {
             .iter()
             .map(|p| format!("{}:{:.1}", p.cores, p.speedup))
             .collect();
-        format!("{:<24} {:<20} {}", self.benchmark, self.manager, pts.join("  "))
+        format!(
+            "{:<24} {:<20} {}",
+            self.benchmark,
+            self.manager,
+            pts.join("  ")
+        )
     }
 }
 

@@ -2,97 +2,112 @@
 //! worker counts, the ideal-manager simulation must respect the fundamental
 //! scheduling bounds (work law, critical-path law, greedy-scheduler bound) and
 //! conserve tasks.
+//!
+//! The random traces are generated with the workspace's own deterministic
+//! [`SimRng`] (the build environment has no crates.io access, so `proptest` is
+//! not available); every case is reproducible from its printed seed.
 
 use nexus_host::{simulate, HostConfig, IdealManager};
-use nexus_sim::SimDuration;
+use nexus_sim::{SimDuration, SimRng};
 use nexus_taskgraph::refgraph::ParallelismProfile;
 use nexus_trace::{TaskDescriptor, Trace};
-use proptest::prelude::*;
+
+const CASES: u64 = 96;
 
 /// Random DAG-ish traces: tasks touch a small pool of addresses with random
 /// directions and durations, with occasional taskwaits.
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (
-            prop::collection::vec((0..16u64, 0..3u8), 1..4),
-            1u64..500,
-            prop::bool::weighted(0.07),
-        ),
-        1..80,
-    )
-    .prop_map(|specs| {
-        let mut trace = Trace::new("proptest-host");
-        for (i, (params, dur_us, barrier_after)) in specs.into_iter().enumerate() {
-            let mut b = TaskDescriptor::builder(i as u64).duration(SimDuration::from_us(dur_us));
-            let mut used = std::collections::HashSet::new();
-            for (slot, dir) in params {
-                let addr = 0x4000 + slot * 64;
-                if !used.insert(addr) {
-                    continue;
-                }
-                b = match dir {
-                    0 => b.input(addr),
-                    1 => b.output(addr),
-                    _ => b.inout(addr),
-                };
+fn arb_trace(rng: &mut SimRng) -> Trace {
+    let mut trace = Trace::new("proptest-host");
+    let tasks = rng.range(1, 80);
+    for i in 0..tasks {
+        let mut b = TaskDescriptor::builder(i).duration(SimDuration::from_us(rng.range(1, 500)));
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..rng.range(1, 4) {
+            let addr = 0x4000 + rng.next_below(16) * 64;
+            if !used.insert(addr) {
+                continue;
             }
-            trace.submit(b.build());
-            if barrier_after {
-                trace.taskwait();
-            }
+            b = match rng.next_below(3) {
+                0 => b.input(addr),
+                1 => b.output(addr),
+                _ => b.inout(addr),
+            };
         }
-        trace.taskwait();
-        trace
-    })
+        trace.submit(b.build());
+        if rng.chance(0.07) {
+            trace.taskwait();
+        }
+    }
+    trace.taskwait();
+    trace
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn ideal_simulation_respects_scheduling_laws() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x1DEA_0000 + seed);
+        let trace = arb_trace(&mut rng);
+        let workers = rng.range(1, 40) as usize;
 
-    #[test]
-    fn ideal_simulation_respects_scheduling_laws(
-        trace in arb_trace(),
-        workers in 1usize..40,
-    ) {
-        let out = simulate(&trace, &mut IdealManager::new(), &HostConfig::with_workers(workers));
+        let out = simulate(
+            &trace,
+            &mut IdealManager::new(),
+            &HostConfig::with_workers(workers),
+        );
         let profile = ParallelismProfile::of(&trace);
         let work_us = out.total_work.as_us_f64();
         let makespan_us = out.makespan.as_us_f64();
 
         // Every task ran.
-        prop_assert_eq!(out.tasks as usize, trace.task_count());
+        assert_eq!(out.tasks as usize, trace.task_count(), "seed {seed}");
 
         // Work law: T_p >= T_1 / p.
-        prop_assert!(makespan_us + 1e-6 >= work_us / workers as f64,
-            "work law violated: {} < {}/{}", makespan_us, work_us, workers);
+        assert!(
+            makespan_us + 1e-6 >= work_us / workers as f64,
+            "seed {seed}: work law violated: {makespan_us} < {work_us}/{workers}"
+        );
 
         // Critical-path law: T_p >= T_inf.
-        prop_assert!(makespan_us + 1e-6 >= profile.critical_path_us,
-            "critical-path law violated: {} < {}", makespan_us, profile.critical_path_us);
+        assert!(
+            makespan_us + 1e-6 >= profile.critical_path_us,
+            "seed {seed}: critical-path law violated: {makespan_us} < {}",
+            profile.critical_path_us
+        );
 
         // Greedy-scheduler (Brent) bound: T_p <= T_1/p + T_inf.
-        prop_assert!(makespan_us <= work_us / workers as f64 + profile.critical_path_us + 1e-6,
-            "greedy bound violated: {} > {} + {}",
-            makespan_us, work_us / workers as f64, profile.critical_path_us);
+        assert!(
+            makespan_us <= work_us / workers as f64 + profile.critical_path_us + 1e-6,
+            "seed {seed}: greedy bound violated: {makespan_us} > {} + {}",
+            work_us / workers as f64,
+            profile.critical_path_us
+        );
 
         // Speedup never exceeds the worker count.
-        prop_assert!(out.speedup() <= workers as f64 + 1e-9);
+        assert!(out.speedup() <= workers as f64 + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn more_workers_never_slow_down_the_ideal_manager(
-        trace in arb_trace(),
-    ) {
-        // With zero-overhead management and greedy FIFO dispatch in readiness
-        // order, doubling the workers cannot hurt by more than the classical
-        // anomaly factor; in this driver readiness order is identical across
-        // worker counts, so we check plain monotonicity with a small tolerance.
+#[test]
+fn more_workers_never_slow_down_the_ideal_manager() {
+    // With zero-overhead management and greedy FIFO dispatch in readiness
+    // order, doubling the workers cannot hurt by more than the classical
+    // anomaly factor; in this driver readiness order is identical across
+    // worker counts, so we check plain monotonicity with a small tolerance.
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x2D0_0000 + seed);
+        let trace = arb_trace(&mut rng);
         let mut last = f64::INFINITY;
         for workers in [1usize, 2, 4, 8, 16, 32] {
-            let out = simulate(&trace, &mut IdealManager::new(), &HostConfig::with_workers(workers));
+            let out = simulate(
+                &trace,
+                &mut IdealManager::new(),
+                &HostConfig::with_workers(workers),
+            );
             let makespan = out.makespan.as_us_f64();
-            prop_assert!(makespan <= last * 1.05,
-                "makespan grew from {last} to {makespan} at {workers} workers");
+            assert!(
+                makespan <= last * 1.05,
+                "seed {seed}: makespan grew from {last} to {makespan} at {workers} workers"
+            );
             last = makespan;
         }
     }
@@ -103,6 +118,10 @@ fn single_worker_makespan_equals_total_work_plus_nothing() {
     // With one worker and an ideal manager the makespan is exactly the total
     // work for any trace without master compute.
     let trace = nexus_trace::generators::micro::fork_join(13, SimDuration::from_us(17));
-    let out = simulate(&trace, &mut IdealManager::new(), &HostConfig::with_workers(1));
+    let out = simulate(
+        &trace,
+        &mut IdealManager::new(),
+        &HostConfig::with_workers(1),
+    );
     assert_eq!(out.makespan, trace.total_work());
 }

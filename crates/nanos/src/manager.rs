@@ -157,7 +157,11 @@ mod tests {
         // 6 ms tasks: Nanos overhead (a few us) is negligible.
         let trace = micro::independent_tasks(64, 1, SimDuration::from_us(6000));
         let cfg = HostConfig::with_workers(16);
-        let out = simulate(&trace, &mut NanosRuntime::new(NanosConfig::with_workers(16)), &cfg);
+        let out = simulate(
+            &trace,
+            &mut NanosRuntime::new(NanosConfig::with_workers(16)),
+            &cfg,
+        );
         let ideal = simulate(&trace, &mut IdealManager::new(), &cfg);
         assert!(out.speedup() > 0.9 * ideal.speedup(), "{}", out.speedup());
     }
@@ -178,7 +182,12 @@ mod tests {
             &mut NanosRuntime::new(NanosConfig::with_workers(8)),
             &HostConfig::with_workers(8),
         );
-        assert!(out8.speedup() >= out32.speedup() * 0.8, "8c {} vs 32c {}", out8.speedup(), out32.speedup());
+        assert!(
+            out8.speedup() >= out32.speedup() * 0.8,
+            "8c {} vs 32c {}",
+            out8.speedup(),
+            out32.speedup()
+        );
     }
 
     #[test]

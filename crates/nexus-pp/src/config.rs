@@ -120,11 +120,15 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = NexusPPConfig::default();
-        c.clock_mhz = 0.0;
+        let c = NexusPPConfig {
+            clock_mhz: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = NexusPPConfig::default();
-        c.task_pool_capacity = 0;
+        let c = NexusPPConfig {
+            task_pool_capacity: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

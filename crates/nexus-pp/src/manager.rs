@@ -201,7 +201,10 @@ impl TaskManager for NexusPP {
         // Retirement (as observed by `taskwait`) happens when cleanup completes.
         self.pool.finish(task);
         self.tasks_retired += 1;
-        self.pending.push(ManagerEvent::Retired { task, at: cleanup.end });
+        self.pending.push(ManagerEvent::Retired {
+            task,
+            at: cleanup.end,
+        });
 
         // The worker is released as soon as its notification has been accepted.
         recv.end
@@ -217,12 +220,18 @@ impl TaskManager for NexusPP {
             ("tasks_submitted".into(), self.tasks_submitted as f64),
             ("tasks_retired".into(), self.tasks_retired as f64),
             ("ready_immediately".into(), self.ready_immediately as f64),
-            ("io_utilization".into(), self.io_front_end.utilization(horizon)),
+            (
+                "io_utilization".into(),
+                self.io_front_end.utilization(horizon),
+            ),
             (
                 "graph_engine_utilization".into(),
                 self.graph_engine.utilization(horizon),
             ),
-            ("writeback_utilization".into(), self.writeback.utilization(horizon)),
+            (
+                "writeback_utilization".into(),
+                self.writeback.utilization(horizon),
+            ),
             (
                 "pool_peak_occupancy".into(),
                 self.pool.stats().peak_occupancy as f64,
@@ -255,7 +264,11 @@ mod tests {
         let trace = micro::single_task(4, SimDuration::from_us(1));
         let task = trace.tasks().next().unwrap();
         let release = m.submit(task, SimTime::ZERO);
-        assert_eq!(release, SimTime::from_ps(120_000), "master busy for 12 cycles");
+        assert_eq!(
+            release,
+            SimTime::from_ps(120_000),
+            "master busy for 12 cycles"
+        );
         let events = m.drain_events();
         assert_eq!(events.len(), 1);
         match events[0] {
@@ -296,8 +309,10 @@ mod tests {
 
     #[test]
     fn back_pressure_when_the_pool_fills() {
-        let mut cfg = NexusPPConfig::default();
-        cfg.task_pool_capacity = 2;
+        let cfg = NexusPPConfig {
+            task_pool_capacity: 2,
+            ..Default::default()
+        };
         let mut m = NexusPP::new(cfg);
         let trace = micro::independent_tasks(3, 1, SimDuration::from_us(1));
         let tasks: Vec<_> = trace.tasks().cloned().collect();
@@ -317,7 +332,12 @@ mod tests {
         let cfg = HostConfig::with_workers(16);
         let ideal = simulate(&trace, &mut IdealManager::new(), &cfg);
         let pp = simulate(&trace, &mut NexusPP::paper(), &cfg);
-        assert!(pp.speedup() > 0.97 * ideal.speedup(), "{} vs {}", pp.speedup(), ideal.speedup());
+        assert!(
+            pp.speedup() > 0.97 * ideal.speedup(),
+            "{} vs {}",
+            pp.speedup(),
+            ideal.speedup()
+        );
         assert_eq!(pp.tasks, 64);
     }
 
@@ -340,8 +360,7 @@ mod tests {
         let trace = micro::independent_tasks(10, 2, SimDuration::from_us(10));
         let mut m = NexusPP::paper();
         simulate(&trace, &mut m, &HostConfig::with_workers(4));
-        let stats: std::collections::HashMap<String, f64> =
-            m.stats_summary().into_iter().collect();
+        let stats: std::collections::HashMap<String, f64> = m.stats_summary().into_iter().collect();
         assert_eq!(stats["tasks_submitted"], 10.0);
         assert_eq!(stats["tasks_retired"], 10.0);
         assert!(stats["io_utilization"] > 0.0);

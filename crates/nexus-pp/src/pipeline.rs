@@ -122,7 +122,10 @@ mod tests {
         let (spans, _) = pipeline_schedule(&c, 4, 4);
         // Write-backs of consecutive tasks are 18 cycles apart in steady state.
         let wb: Vec<&StageSpan> = spans.iter().filter(|s| s.stage == "WB").collect();
-        let deltas: Vec<u64> = wb.windows(2).map(|w| w[1].end_cycle - w[0].end_cycle).collect();
+        let deltas: Vec<u64> = wb
+            .windows(2)
+            .map(|w| w[1].end_cycle - w[0].end_cycle)
+            .collect();
         assert!(deltas.iter().skip(1).all(|&d| d == 18), "{deltas:?}");
     }
 

@@ -41,7 +41,10 @@ impl ManagerConfig {
         match self {
             ManagerConfig::NexusPP => "Nexus++".to_string(),
             ManagerConfig::NexusSharp { task_graphs } => {
-                format!("Nexus# {task_graphs} TG{}", if *task_graphs == 1 { "" } else { "s" })
+                format!(
+                    "Nexus# {task_graphs} TG{}",
+                    if *task_graphs == 1 { "" } else { "s" }
+                )
             }
         }
     }
@@ -266,8 +269,16 @@ mod tests {
         let m = ResourceModel::paper_calibrated();
         let est = m.estimate(ManagerConfig::NexusSharp { task_graphs: 8 });
         // Paper §IV-E: 19,350 registers and 127,290 LUTs for the 8-TG design.
-        assert!((est.registers as f64 - 19_350.0).abs() / 19_350.0 < 0.03, "{}", est.registers);
-        assert!((est.luts as f64 - 127_290.0).abs() / 127_290.0 < 0.03, "{}", est.luts);
+        assert!(
+            (est.registers as f64 - 19_350.0).abs() / 19_350.0 < 0.03,
+            "{}",
+            est.registers
+        );
+        assert!(
+            (est.luts as f64 - 127_290.0).abs() / 127_290.0 < 0.03,
+            "{}",
+            est.luts
+        );
     }
 
     #[test]

@@ -188,7 +188,10 @@ impl Runtime {
 
         for &(key, mode) in &state.accesses {
             if mode.writes() {
-                self.inner.last_writer.lock().insert(key, Arc::clone(&state));
+                self.inner
+                    .last_writer
+                    .lock()
+                    .insert(key, Arc::clone(&state));
             }
             // Optimistically count the dependency before asking the graph, so a
             // concurrent release can never drive `pending` to zero early.
@@ -362,7 +365,10 @@ mod tests {
         rt.taskwait();
         let seen = observed.lock();
         assert_eq!(seen.len(), 8);
-        assert!(seen.iter().all(|&v| v == 42), "a reader overtook the producer: {seen:?}");
+        assert!(
+            seen.iter().all(|&v| v == 42),
+            "a reader overtook the producer: {seen:?}"
+        );
         assert_eq!(value.load(Ordering::SeqCst), 7);
     }
 
@@ -372,15 +378,18 @@ mod tests {
         const R: usize = 12;
         const C: usize = 16;
         let rt = Runtime::with_shards(6, 6).unwrap();
-        let grid: Arc<Vec<AtomicU64>> =
-            Arc::new((0..R * C).map(|_| AtomicU64::new(0)).collect());
+        let grid: Arc<Vec<AtomicU64>> = Arc::new((0..R * C).map(|_| AtomicU64::new(0)).collect());
         let key = |r: usize, c: usize| (r * C + c) as u64 * 64;
 
         for r in 0..R {
             for c in 0..C {
                 let grid = Arc::clone(&grid);
                 let mut spec = TaskSpec::new(move || {
-                    let left = if c > 0 { grid[r * C + c - 1].load(Ordering::SeqCst) } else { 0 };
+                    let left = if c > 0 {
+                        grid[r * C + c - 1].load(Ordering::SeqCst)
+                    } else {
+                        0
+                    };
                     let upright = if r > 0 && c + 1 < C {
                         grid[(r - 1) * C + c + 1].load(Ordering::SeqCst)
                     } else {
@@ -405,7 +414,11 @@ mod tests {
         for r in 0..R {
             for c in 0..C {
                 let left = if c > 0 { reference[r * C + c - 1] } else { 0 };
-                let upright = if r > 0 && c + 1 < C { reference[(r - 1) * C + c + 1] } else { 0 };
+                let upright = if r > 0 && c + 1 < C {
+                    reference[(r - 1) * C + c + 1]
+                } else {
+                    0
+                };
                 reference[r * C + c] = left + upright + 1;
             }
         }
@@ -460,9 +473,12 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for i in 0..10u64 {
             let counter = Arc::clone(&counter);
-            rt.submit(TaskSpec::new(move || {
-                counter.fetch_add(1, Ordering::Relaxed);
-            }).inout(i));
+            rt.submit(
+                TaskSpec::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+                .inout(i),
+            );
         }
         rt.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 10);

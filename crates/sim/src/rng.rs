@@ -37,10 +37,7 @@ impl SimRng {
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -206,6 +203,9 @@ mod tests {
         sorted.sort_unstable();
         let expected: Vec<u32> = (0..100).collect();
         assert_eq!(sorted, expected);
-        assert_ne!(v, expected, "shuffle should change order (overwhelmingly likely)");
+        assert_ne!(
+            v, expected,
+            "shuffle should change order (overwhelmingly likely)"
+        );
     }
 }

@@ -48,7 +48,10 @@ impl SetAssocConfig {
     /// Validates the geometry.
     pub fn validate(&self) -> Result<(), String> {
         if self.sets == 0 || !self.sets.is_power_of_two() {
-            return Err(format!("sets must be a non-zero power of two, got {}", self.sets));
+            return Err(format!(
+                "sets must be a non-zero power of two, got {}",
+                self.sets
+            ));
         }
         if self.ways == 0 {
             return Err("ways must be non-zero".to_string());
@@ -107,7 +110,9 @@ impl<V> SetAssocTable<V> {
         config.validate().expect("invalid set-associative geometry");
         SetAssocTable {
             config,
-            sets: (0..config.sets).map(|_| Vec::with_capacity(config.ways)).collect(),
+            sets: (0..config.sets)
+                .map(|_| Vec::with_capacity(config.ways))
+                .collect(),
             overflow: HashMap::new(),
             stats: TableStats::default(),
         }

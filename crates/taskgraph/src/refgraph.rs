@@ -137,7 +137,10 @@ impl ReferenceGraph {
     /// in deterministic (id) order.
     pub fn retire(&mut self, id: TaskId) -> Vec<TaskId> {
         self.stats.tasks_retired += 1;
-        debug_assert!(self.live.contains(&id), "retiring unknown or retired task {id}");
+        debug_assert!(
+            self.live.contains(&id),
+            "retiring unknown or retired task {id}"
+        );
         self.live.remove(&id);
         let mut newly_ready = Vec::new();
         if let Some(deps) = self.dependents.remove(&id) {
@@ -257,7 +260,10 @@ mod tests {
     use nexus_trace::generators::micro;
     use nexus_trace::TaskDescriptor;
 
-    fn task(id: u64, f: impl FnOnce(nexus_trace::task::TaskBuilder) -> nexus_trace::task::TaskBuilder) -> TaskDescriptor {
+    fn task(
+        id: u64,
+        f: impl FnOnce(nexus_trace::task::TaskBuilder) -> nexus_trace::task::TaskBuilder,
+    ) -> TaskDescriptor {
         f(TaskDescriptor::builder(id).duration_us(1.0)).build()
     }
 
@@ -321,7 +327,11 @@ mod tests {
         let trace = micro::wavefront(6, 8, SimDuration::from_us(10));
         let p = ParallelismProfile::of(&trace);
         assert!((p.total_work_us - 480.0).abs() < 1e-9);
-        assert!((p.critical_path_us - 180.0).abs() < 1e-9, "{}", p.critical_path_us);
+        assert!(
+            (p.critical_path_us - 180.0).abs() < 1e-9,
+            "{}",
+            p.critical_path_us
+        );
         assert!((p.average_parallelism() - 480.0 / 180.0).abs() < 1e-9);
     }
 
@@ -351,6 +361,10 @@ mod tests {
         let p = ParallelismProfile::of(&tr);
         // The barrier only waits for the short writer of B, so the critical
         // path is the long writer of A (1000 µs), not 1000 + 1 + 1.
-        assert!((p.critical_path_us - 1000.0).abs() < 1e-9, "{}", p.critical_path_us);
+        assert!(
+            (p.critical_path_us - 1000.0).abs() < 1e-9,
+            "{}",
+            p.critical_path_us
+        );
     }
 }

@@ -2,11 +2,10 @@
 //! [`ReferenceGraph`] oracle on readiness for arbitrary interleavings of task
 //! submissions and completions, and for all the paper's workload generators.
 
-use nexus_sim::SimDuration;
+use nexus_sim::{SimDuration, SimRng};
 use nexus_taskgraph::{DependencyTracker, ReferenceGraph};
 use nexus_trace::generators::{micro, Benchmark, MbGrouping};
 use nexus_trace::{TaskDescriptor, TaskId, Trace};
-use proptest::prelude::*;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Drives a trace through the tracker, mirroring what a task-graph unit does:
@@ -136,62 +135,64 @@ fn check_equivalence(trace: &Trace, completion_seed: u64) -> usize {
             "ready sets diverged after {executed} completions"
         );
     }
-    assert_eq!(executed, trace.task_count(), "not all tasks executed: deadlock?");
-    assert_eq!(tracker.tracker.live_addresses(), 0, "leaked address entries");
+    assert_eq!(
+        executed,
+        trace.task_count(),
+        "not all tasks executed: deadlock?"
+    );
+    assert_eq!(
+        tracker.tracker.live_addresses(),
+        0,
+        "leaked address entries"
+    );
     executed
 }
 
-/// Generates a random trace: `n` tasks over a small address pool with random
-/// directions — maximally adversarial for dependency tracking.
-fn arb_trace(max_tasks: usize, addr_pool: u64) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (
-            prop::collection::vec((0..addr_pool, 0..3u8), 1..5),
-            1u64..100,
-        ),
-        1..max_tasks,
-    )
-    .prop_map(|specs| {
-        let mut trace = Trace::new("proptest");
-        for (i, (params, dur)) in specs.into_iter().enumerate() {
-            let mut b = TaskDescriptor::builder(i as u64).duration(SimDuration::from_us(dur));
-            let mut used = std::collections::HashSet::new();
-            for (slot, dir) in params {
-                let addr = 0x1000 + slot * 64;
-                if !used.insert(addr) {
-                    continue; // avoid duplicate addresses within one task
-                }
-                b = match dir {
-                    0 => b.input(addr),
-                    1 => b.output(addr),
-                    _ => b.inout(addr),
-                };
+/// Generates a random trace: up to `max_tasks` tasks over a small address pool
+/// with random directions — maximally adversarial for dependency tracking.
+/// Generation uses the workspace's own deterministic [`SimRng`] (the build
+/// environment has no crates.io access, so `proptest` is not available); every
+/// case is reproducible from its printed seed.
+fn arb_trace(rng: &mut SimRng, max_tasks: usize, addr_pool: u64) -> Trace {
+    let mut trace = Trace::new("proptest");
+    for i in 0..rng.range(1, max_tasks as u64) {
+        let mut b = TaskDescriptor::builder(i).duration(SimDuration::from_us(rng.range(1, 100)));
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..rng.range(1, 5) {
+            let addr = 0x1000 + rng.next_below(addr_pool) * 64;
+            if !used.insert(addr) {
+                continue; // avoid duplicate addresses within one task
             }
-            trace.submit(b.build());
+            b = match rng.next_below(3) {
+                0 => b.input(addr),
+                1 => b.output(addr),
+                _ => b.inout(addr),
+            };
         }
-        trace
-    })
+        trace.submit(b.build());
+    }
+    trace
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn tracker_matches_oracle_on_random_traces(
-        trace in arb_trace(120, 12),
-        seed in any::<u64>(),
-    ) {
-        check_equivalence(&trace, seed);
+#[test]
+fn tracker_matches_oracle_on_random_traces() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x07AC1E + seed);
+        let trace = arb_trace(&mut rng, 120, 12);
+        check_equivalence(&trace, rng.next_u64());
     }
+}
 
-    #[test]
-    fn tracker_matches_oracle_on_contended_single_address(
-        trace in arb_trace(80, 2),
-        seed in any::<u64>(),
-    ) {
-        // With only 1-2 distinct addresses every task conflicts with every
-        // other: stresses WAW/WAR chains and kick-off list handling.
-        check_equivalence(&trace, seed);
+#[test]
+fn tracker_matches_oracle_on_contended_single_address() {
+    // With only 1-2 distinct addresses every task conflicts with every
+    // other: stresses WAW/WAR chains and kick-off list handling.
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0xC017E17 + seed);
+        let trace = arb_trace(&mut rng, 80, 2);
+        check_equivalence(&trace, rng.next_u64());
     }
 }
 

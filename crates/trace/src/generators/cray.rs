@@ -58,7 +58,11 @@ mod tests {
             s.avg_task_us
         );
         // Total work within 10% of the paper's 7381 ms.
-        assert!((s.total_work_ms - 7381.0).abs() / 7381.0 < 0.10, "{}", s.total_work_ms);
+        assert!(
+            (s.total_work_ms - 7381.0).abs() / 7381.0 < 0.10,
+            "{}",
+            s.total_work_ms
+        );
         assert_eq!(s.taskwaits, 1);
         t.validate().unwrap();
     }

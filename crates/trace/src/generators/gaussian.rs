@@ -96,10 +96,26 @@ mod tests {
     #[test]
     fn average_weight_matches_table3() {
         // Table III: 167 / 334 / 667 / 2012 FLOPs.
-        assert!((average_flops(250) - 167.0).abs() < 2.0, "{}", average_flops(250));
-        assert!((average_flops(500) - 334.0).abs() < 3.0, "{}", average_flops(500));
-        assert!((average_flops(1000) - 667.0).abs() < 5.0, "{}", average_flops(1000));
-        assert!((average_flops(3000) - 2012.0).abs() < 20.0, "{}", average_flops(3000));
+        assert!(
+            (average_flops(250) - 167.0).abs() < 2.0,
+            "{}",
+            average_flops(250)
+        );
+        assert!(
+            (average_flops(500) - 334.0).abs() < 3.0,
+            "{}",
+            average_flops(500)
+        );
+        assert!(
+            (average_flops(1000) - 667.0).abs() < 5.0,
+            "{}",
+            average_flops(1000)
+        );
+        assert!(
+            (average_flops(3000) - 2012.0).abs() < 20.0,
+            "{}",
+            average_flops(3000)
+        );
     }
 
     #[test]
@@ -121,7 +137,10 @@ mod tests {
         let pivot_addr = tasks[0].params[0].addr;
         // The next n-1 tasks all read that same address (the long kick-off list).
         for task in &tasks[1..n as usize] {
-            assert!(task.params.iter().any(|p| p.addr == pivot_addr && !p.dir.writes()));
+            assert!(task
+                .params
+                .iter()
+                .any(|p| p.addr == pivot_addr && !p.dir.writes()));
         }
     }
 

@@ -44,7 +44,11 @@ fn task_grid(group: MbGrouping, rows: u64, cols: u64) -> (u64, u64) {
 /// `scale` shrinks the number of frames (and, below 1 frame, the frame size).
 pub fn generate(group: MbGrouping, seed: u64, scale: f64) -> Trace {
     let (frames, mb_rows, mb_cols) = if scale >= 0.1 {
-        (((FRAMES as f64 * scale).round() as u64).max(1), MB_ROWS, MB_COLS)
+        (
+            ((FRAMES as f64 * scale).round() as u64).max(1),
+            MB_ROWS,
+            MB_COLS,
+        )
     } else {
         // Sub-frame scaling for unit tests: a single shrunken frame.
         let shrink = (scale * 10.0).sqrt().clamp(0.05, 1.0);
@@ -137,7 +141,11 @@ mod tests {
         assert_eq!(s.deps_column(), "2-6");
         // Average dominated by the decode tasks at ~4.6 us (entropy tasks are
         // rare); allow 10%.
-        assert!((s.avg_task_us - 4.6).abs() / 4.6 < 0.10, "avg {}", s.avg_task_us);
+        assert!(
+            (s.avg_task_us - 4.6).abs() / 4.6 < 0.10,
+            "avg {}",
+            s.avg_task_us
+        );
         // The master issues one taskwait-on per row of every non-first frame.
         assert_eq!(s.taskwait_ons, (FRAMES - 1) * MB_ROWS);
         assert_eq!(s.taskwaits, 1);
@@ -152,7 +160,11 @@ mod tests {
         let sf = TraceStats::of(&fine);
         let sc = TraceStats::of(&coarse);
         assert!(sc.avg_task_us > 30.0 * sf.avg_task_us / 2.0);
-        assert!((sc.avg_task_us - 189.9).abs() / 189.9 < 0.15, "avg {}", sc.avg_task_us);
+        assert!(
+            (sc.avg_task_us - 189.9).abs() / 189.9 < 0.15,
+            "avg {}",
+            sc.avg_task_us
+        );
     }
 
     #[test]
@@ -170,7 +182,11 @@ mod tests {
         let t = generate(MbGrouping::G4x4, 3, 0.1);
         let mut written = std::collections::HashSet::new();
         for task in t.tasks() {
-            for p in task.params.iter().filter(|p| p.dir.reads() && !p.dir.writes()) {
+            for p in task
+                .params
+                .iter()
+                .filter(|p| p.dir.reads() && !p.dir.writes())
+            {
                 assert!(
                     written.contains(&p.addr),
                     "{} reads address {:x} that was never produced",

@@ -156,8 +156,10 @@ mod tests {
     fn chain_tasks_share_one_address() {
         let t = chain(10, SimDuration::from_us(2));
         assert_eq!(t.task_count(), 10);
-        let addrs: std::collections::HashSet<u64> =
-            t.tasks().flat_map(|t| t.params.iter().map(|p| p.addr)).collect();
+        let addrs: std::collections::HashSet<u64> = t
+            .tasks()
+            .flat_map(|t| t.params.iter().map(|p| p.addr))
+            .collect();
         assert_eq!(addrs.len(), 1);
         assert_eq!(t.total_work(), SimDuration::from_us(20));
     }

@@ -224,7 +224,10 @@ mod tests {
     #[test]
     fn scale_is_clamped() {
         let t = Benchmark::CRay.trace_scaled(1, 50.0);
-        assert_eq!(t.task_count(), Benchmark::CRay.trace_scaled(1, 1.0).task_count());
+        assert_eq!(
+            t.task_count(),
+            Benchmark::CRay.trace_scaled(1, 1.0).task_count()
+        );
         let tiny = Benchmark::Gaussian { dim: 250 }.trace_scaled(1, 0.0);
         assert!(tiny.task_count() > 0);
     }

@@ -63,8 +63,16 @@ mod tests {
         let s = TraceStats::of(&t);
         assert_eq!(s.tasks, 16262);
         assert_eq!(s.deps_column(), "1");
-        assert!((s.avg_task_us - AVG_TASK_US).abs() / AVG_TASK_US < 0.05, "{}", s.avg_task_us);
-        assert!((s.total_work_ms - 8150.0).abs() / 8150.0 < 0.10, "{}", s.total_work_ms);
+        assert!(
+            (s.avg_task_us - AVG_TASK_US).abs() / AVG_TASK_US < 0.05,
+            "{}",
+            s.avg_task_us
+        );
+        assert!(
+            (s.total_work_ms - 8150.0).abs() / 8150.0 < 0.10,
+            "{}",
+            s.total_work_ms
+        );
         t.validate().unwrap();
     }
 

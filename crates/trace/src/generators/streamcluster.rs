@@ -88,9 +88,17 @@ mod tests {
         let s = TraceStats::of(&t);
         assert_eq!(s.tasks, GROUPS * TASKS_PER_GROUP);
         // Within 1% of the paper's 652776 tasks.
-        assert!((s.tasks as f64 - 652_776.0).abs() / 652_776.0 < 0.01, "{}", s.tasks);
+        assert!(
+            (s.tasks as f64 - 652_776.0).abs() / 652_776.0 < 0.01,
+            "{}",
+            s.tasks
+        );
         assert_eq!(s.deps_column(), "1-3");
-        assert!((s.avg_task_us - 364.0).abs() / 364.0 < 0.08, "avg {}", s.avg_task_us);
+        assert!(
+            (s.avg_task_us - 364.0).abs() / 364.0 < 0.08,
+            "avg {}",
+            s.avg_task_us
+        );
         assert!(
             (s.total_work_ms - 237_908.0).abs() / 237_908.0 < 0.10,
             "{}",
@@ -105,7 +113,12 @@ mod tests {
         let t = generate(2, 0.02);
         let s = TraceStats::of(&t);
         // Median well below mean => heavy tail.
-        assert!(s.median_task_us < s.avg_task_us / 3.0, "median {} mean {}", s.median_task_us, s.avg_task_us);
+        assert!(
+            s.median_task_us < s.avg_task_us / 3.0,
+            "median {} mean {}",
+            s.median_task_us,
+            s.avg_task_us
+        );
     }
 
     #[test]

@@ -125,7 +125,12 @@ mod tests {
     #[test]
     fn deps_column_shows_range() {
         let mut b = TraceBuilder::new("range");
-        b.submit_with(|id| TaskDescriptor::builder(id.0).inout(1).duration_us(1.0).build());
+        b.submit_with(|id| {
+            TaskDescriptor::builder(id.0)
+                .inout(1)
+                .duration_us(1.0)
+                .build()
+        });
         b.submit_with(|id| {
             TaskDescriptor::builder(id.0)
                 .input(1)

@@ -178,10 +178,7 @@ impl TraceBuilder {
     }
 
     /// Submits a task built from a closure receiving the assigned id.
-    pub fn submit_with(
-        &mut self,
-        f: impl FnOnce(TaskId) -> TaskDescriptor,
-    ) -> TaskId {
+    pub fn submit_with(&mut self, f: impl FnOnce(TaskId) -> TaskDescriptor) -> TaskId {
         let id = TaskId(self.next_id);
         self.next_id += 1;
         let task = f(id);
@@ -240,7 +237,10 @@ mod tests {
         assert_eq!(t.total_work(), SimDuration::from_us(60));
         assert_eq!(t.total_master_compute(), SimDuration::from_us(5));
         assert!(t.validate().is_ok());
-        assert_eq!(t.task(TaskId(1)).unwrap().duration, SimDuration::from_us(20));
+        assert_eq!(
+            t.task(TaskId(1)).unwrap().duration,
+            SimDuration::from_us(20)
+        );
         assert!(t.task(TaskId(99)).is_none());
     }
 

@@ -19,12 +19,8 @@ fn main() {
         );
 
         // Baseline, as in Fig. 9: single-core execution time under Nexus++.
-        let baseline = simulate(
-            &trace,
-            &mut NexusPP::paper(),
-            &HostConfig::with_workers(1),
-        )
-        .makespan;
+        let baseline =
+            simulate(&trace, &mut NexusPP::paper(), &HostConfig::with_workers(1)).makespan;
 
         println!("{:<22} {:>7} {:>7} {:>7}", "manager", "8c", "32c", "64c");
         for (name, tgs) in [("Nexus# 1 TG", 1usize), ("Nexus# 2 TGs", 2)] {

@@ -35,7 +35,11 @@ fn main() {
         // Ideal upper bound.
         let mut ideal_row = Vec::new();
         for workers in [8usize, 16, 32, 64] {
-            let out = simulate(&trace, &mut IdealManager::new(), &HostConfig::with_workers(workers));
+            let out = simulate(
+                &trace,
+                &mut IdealManager::new(),
+                &HostConfig::with_workers(workers),
+            );
             ideal_row.push(out.speedup());
         }
         rows.push(("No Overhead (ideal)".into(), ideal_row));

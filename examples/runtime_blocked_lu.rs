@@ -23,7 +23,9 @@ unsafe impl Sync for Matrix {}
 
 impl Matrix {
     fn new(data: Vec<f64>) -> Self {
-        Matrix { data: std::cell::UnsafeCell::new(data) }
+        Matrix {
+            data: std::cell::UnsafeCell::new(data),
+        }
     }
     #[allow(clippy::mut_from_ref)]
     fn slice(&self) -> &mut Vec<f64> {
@@ -85,7 +87,8 @@ fn bdiv(m: &Matrix, kb: usize, ib: usize) {
         for i in 0..BS {
             a[(ib0 + i) * N + kb0 + k] /= a[(kb0 + k) * N + kb0 + k];
             for j in (k + 1)..BS {
-                a[(ib0 + i) * N + kb0 + j] -= a[(ib0 + i) * N + kb0 + k] * a[(kb0 + k) * N + kb0 + j];
+                a[(ib0 + i) * N + kb0 + j] -=
+                    a[(ib0 + i) * N + kb0 + k] * a[(kb0 + k) * N + kb0 + j];
             }
         }
     }
@@ -123,7 +126,9 @@ fn main() {
     lu_sequential(&mut reference);
 
     // Task-parallel factorization via nexus-rt.
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let rt = Runtime::with_shards(workers, 6).unwrap();
     let matrix = Arc::new(Matrix::new(original));
 
@@ -172,13 +177,17 @@ fn main() {
         }
     }
     let stats = rt.stats();
-    println!(
-        "blocked LU of a {N}x{N} matrix ({NB}x{NB} blocks of {BS}x{BS}) on {workers} threads"
-    );
+    println!("blocked LU of a {N}x{N} matrix ({NB}x{NB} blocks of {BS}x{BS}) on {workers} threads");
     println!("tasks executed: {}", stats.executed);
-    println!("largest per-key waiter list: {}", stats.max_waiters_on_a_key);
+    println!(
+        "largest per-key waiter list: {}",
+        stats.max_waiters_on_a_key
+    );
     println!("wall time: {elapsed:?}");
     println!("max |parallel - sequential| = {max_err:.3e}");
-    assert!(max_err < 1e-8, "parallel factorization diverged from the reference");
+    assert!(
+        max_err < 1e-8,
+        "parallel factorization diverged from the reference"
+    );
     println!("OK — task-parallel result matches the sequential factorization");
 }

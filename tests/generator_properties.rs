@@ -2,13 +2,91 @@
 //! schedulability of every workload generator.
 
 use nexus::taskgraph::refgraph::ParallelismProfile;
-use nexus::trace::generators::MbGrouping;
-use nexus::trace::{Benchmark, TraceStats};
+use nexus::taskgraph::ReferenceGraph;
+use nexus::trace::generators::{micro, MbGrouping};
+use nexus::trace::{Benchmark, Trace, TraceStats};
+use std::collections::HashMap;
 
 fn all_benchmarks() -> Vec<Benchmark> {
     let mut v = Benchmark::table2_suite();
     v.push(Benchmark::Gaussian { dim: 120 });
     v
+}
+
+/// Per-generator smoke check: the trace is non-empty and well-formed, and the
+/// dependency graph it induces is acyclic with every edge pointing at a task
+/// that exists in the trace (dependencies can only reference earlier
+/// submissions, so checking "each dep precedes its dependent in program order"
+/// establishes both acyclicity and in-bounds ids).
+fn smoke(trace: &Trace) {
+    assert!(trace.task_count() > 0, "{}: empty trace", trace.name);
+    trace
+        .validate()
+        .unwrap_or_else(|e| panic!("{}: {e}", trace.name));
+
+    let position: HashMap<_, _> = trace.tasks().enumerate().map(|(i, t)| (t.id, i)).collect();
+    let mut graph = ReferenceGraph::new();
+    for task in trace.tasks() {
+        graph.insert(task);
+    }
+    for task in trace.tasks() {
+        let deps = graph.direct_deps(task.id).unwrap_or(&[]);
+        for dep in deps {
+            let dep_pos = *position.get(dep).unwrap_or_else(|| {
+                panic!(
+                    "{}: task {} depends on {dep}, which is not in the trace",
+                    trace.name, task.id
+                )
+            });
+            assert!(
+                dep_pos < position[&task.id],
+                "{}: task {} depends on the later task {dep} (cycle)",
+                trace.name,
+                task.id
+            );
+        }
+    }
+}
+
+#[test]
+fn cray_generator_smoke() {
+    smoke(&Benchmark::CRay.trace_scaled(11, 0.05));
+}
+
+#[test]
+fn gaussian_generator_smoke() {
+    smoke(&Benchmark::Gaussian { dim: 60 }.trace_scaled(11, 1.0));
+}
+
+#[test]
+fn h264dec_generator_smoke() {
+    for g in MbGrouping::all() {
+        smoke(&Benchmark::H264Dec(g).trace_scaled(11, 0.05));
+    }
+}
+
+#[test]
+fn micro_generator_smoke() {
+    use nexus::sim::SimDuration;
+    smoke(&micro::five_independent_tasks());
+    smoke(&micro::chain(40, SimDuration::from_us(5)));
+    smoke(&micro::fork_join(24, SimDuration::from_us(5)));
+    smoke(&micro::wavefront(8, 12, SimDuration::from_us(5)));
+}
+
+#[test]
+fn rotcc_generator_smoke() {
+    smoke(&Benchmark::RotCc.trace_scaled(11, 0.05));
+}
+
+#[test]
+fn sparselu_generator_smoke() {
+    smoke(&Benchmark::SparseLu.trace_scaled(11, 0.05));
+}
+
+#[test]
+fn streamcluster_generator_smoke() {
+    smoke(&Benchmark::Streamcluster.trace_scaled(11, 0.005));
 }
 
 #[test]
@@ -30,7 +108,8 @@ fn every_generator_produces_valid_traces_at_several_scales() {
     for b in all_benchmarks() {
         for scale in [0.01, 0.05, 0.2] {
             let t = b.trace_scaled(7, scale);
-            t.validate().unwrap_or_else(|e| panic!("{} @ {scale}: {e}", b.name()));
+            t.validate()
+                .unwrap_or_else(|e| panic!("{} @ {scale}: {e}", b.name()));
             assert!(t.task_count() > 0, "{} @ {scale}", b.name());
             let s = TraceStats::of(&t);
             assert!(s.min_params >= 1, "{}", b.name());
@@ -91,7 +170,11 @@ fn workloads_have_the_parallelism_structure_the_paper_describes() {
     // about a third of the matrix dimension.
     let g = Benchmark::Gaussian { dim: 120 }.trace_scaled(1, 1.0);
     let p = ParallelismProfile::of(&g);
-    assert!((20.0..80.0).contains(&p.average_parallelism()), "{}", p.average_parallelism());
+    assert!(
+        (20.0..80.0).contains(&p.average_parallelism()),
+        "{}",
+        p.average_parallelism()
+    );
 }
 
 #[test]

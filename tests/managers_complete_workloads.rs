@@ -18,12 +18,24 @@ fn scaled_suite() -> Vec<Trace> {
 }
 
 fn check_outcome(trace: &Trace, out: &SimOutcome, workers: usize) {
-    assert_eq!(out.tasks as usize, trace.task_count(), "{}: task count", out.manager);
+    assert_eq!(
+        out.tasks as usize,
+        trace.task_count(),
+        "{}: task count",
+        out.manager
+    );
     assert_eq!(out.total_work, trace.total_work());
-    assert!(out.makespan >= trace.total_work() / (workers as u64 + 1),
-        "{}: makespan below the physical lower bound", out.manager);
-    assert!(out.speedup() <= workers as f64 + 1e-6,
-        "{}: speedup {} exceeds the core count", out.manager, out.speedup());
+    assert!(
+        out.makespan >= trace.total_work() / (workers as u64 + 1),
+        "{}: makespan below the physical lower bound",
+        out.manager
+    );
+    assert!(
+        out.speedup() <= workers as f64 + 1e-6,
+        "{}: speedup {} exceeds the core count",
+        out.manager,
+        out.speedup()
+    );
     assert!(out.speedup() > 0.0);
 }
 
@@ -31,7 +43,11 @@ fn check_outcome(trace: &Trace, out: &SimOutcome, workers: usize) {
 fn ideal_manager_completes_every_workload() {
     for trace in scaled_suite() {
         for workers in [1usize, 7, 32] {
-            let out = simulate(&trace, &mut IdealManager::new(), &HostConfig::with_workers(workers));
+            let out = simulate(
+                &trace,
+                &mut IdealManager::new(),
+                &HostConfig::with_workers(workers),
+            );
             check_outcome(&trace, &out, workers);
         }
     }
@@ -41,7 +57,11 @@ fn ideal_manager_completes_every_workload() {
 fn nexus_sharp_completes_every_workload_at_every_tg_count() {
     for trace in scaled_suite() {
         for tgs in [1usize, 2, 4, 6, 8] {
-            let out = simulate(&trace, &mut NexusSharp::paper(tgs), &HostConfig::with_workers(16));
+            let out = simulate(
+                &trace,
+                &mut NexusSharp::paper(tgs),
+                &HostConfig::with_workers(16),
+            );
             check_outcome(&trace, &out, 16);
         }
     }
@@ -72,7 +92,11 @@ fn no_manager_beats_the_ideal_manager() {
         for out in [
             simulate(&trace, &mut NexusSharp::paper(6), &cfg),
             simulate(&trace, &mut NexusPP::paper(), &cfg),
-            simulate(&trace, &mut NanosRuntime::for_benchmark(&trace.name, 24), &cfg),
+            simulate(
+                &trace,
+                &mut NanosRuntime::for_benchmark(&trace.name, 24),
+                &cfg,
+            ),
         ] {
             // Greedy list scheduling is subject to Graham's anomalies: delaying
             // a ready notification can occasionally *improve* the packing, so

@@ -47,7 +47,12 @@ fn replay_and_check(trace: &Trace, workers: usize) {
     }
     rt.taskwait();
 
-    assert_eq!(executed.load(Ordering::SeqCst), n, "{}: not all tasks ran", trace.name);
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        n,
+        "{}: not all tasks ran",
+        trace.name
+    );
     for task in trace.tasks() {
         let own = finish_order[task.id.0 as usize].load(Ordering::SeqCst);
         assert_ne!(own, u64::MAX, "{}: task {} never ran", trace.name, task.id);

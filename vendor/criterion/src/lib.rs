@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so this crate implements the
+//! small slice of the criterion 0.5 API the workspace benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`measurement_time`/`warm_up_time`/`throughput`, and
+//! `Bencher::iter` — backed by a plain wall-clock harness. It reports the mean
+//! iteration time and element throughput per benchmark. Statistical analysis,
+//! plots and command-line filtering are intentionally out of scope; swap in
+//! the real criterion by deleting `vendor/criterion` once the registry is
+//! reachable.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (per-iteration totals).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("workers", 4)` renders as `workers/4`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, collecting up to `sample_size` samples within the group's
+    /// measurement budget after a warm-up period.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(f());
+        }
+        let measure_deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= measure_deadline {
+                break;
+            }
+        }
+        if self.samples.is_empty() {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up period per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotate per-iteration throughput for the group's reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its mean iteration time (and throughput).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        let n = bencher.samples.len().max(1) as u32;
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / n;
+        let mut line = format!("{}/{:<28} {:>12.3?}/iter", self.name, id.id, mean);
+        if let Some(t) = self.throughput {
+            let secs = mean.as_secs_f64().max(f64::MIN_POSITIVE);
+            match t {
+                Throughput::Elements(e) => {
+                    let _ = write!(line, "  {:>12.0} elem/s", e as f64 / secs);
+                }
+                Throughput::Bytes(b) => {
+                    let _ = write!(line, "  {:>12.0} B/s", b as f64 / secs);
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; this stub has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a benchmark group with default settings (10 samples, 3 s budget).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+
+    /// Single-function benchmark without a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export so `criterion::black_box` works like upstream.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a function that runs a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!` functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

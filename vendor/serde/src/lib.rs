@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so they
+//! are ready for real serialization, but the build environment cannot reach
+//! crates.io. This crate provides the two trait names plus no-op derive macros
+//! so `use serde::{Deserialize, Serialize};` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. Nothing in the
+//! workspace uses the traits as bounds, so the empty expansions are
+//! sufficient. See the root README for the swap-to-real-serde policy.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never used as a bound here).
+pub trait SerializeTrait {}
+
+/// Marker stand-in for `serde::Deserialize` (never used as a bound here).
+pub trait DeserializeTrait {}

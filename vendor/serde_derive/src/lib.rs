@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors a no-op implementation of the two derive macros the codebase uses.
+//! `#[derive(Serialize, Deserialize)]` expands to nothing: the types stay
+//! derivable exactly as written, and swapping in the real `serde` later is a
+//! matter of deleting `vendor/` and pointing the path dependencies at the
+//! registry (no source change required).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`. Accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`. Accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
