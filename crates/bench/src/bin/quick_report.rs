@@ -13,7 +13,10 @@
 use nexus_bench::managers::ManagerKind;
 use nexus_bench::paper::table4_row;
 use nexus_bench::report::{fmt_speedup, Table};
-use nexus_bench::runner::{bench_scale, curves_for};
+use nexus_bench::runner::{bench_scale, cluster_link, curves_for};
+use nexus_cluster::{simulate_cluster, ClusterConfig};
+use nexus_core::NexusSharp;
+use nexus_trace::generators::distributed;
 use nexus_trace::Benchmark;
 use std::time::Instant;
 
@@ -63,6 +66,33 @@ fn main() {
                 .unwrap_or_default(),
         ]);
         eprintln!("  [{}] done in {:?}", bench.name(), t0.elapsed());
+    }
+    table.print();
+
+    cluster_section();
+}
+
+/// A small cluster-scalability sample: a 4-domain partitioned sparselu under
+/// Nexus# (6 TGs) per node, at low and full halo coupling.
+fn cluster_section() {
+    let link = cluster_link();
+    let mut table = Table::new(
+        "Quick cluster run: dist-sparselu, Nexus# 6TG per node, 8 workers/node",
+        &["nodes", "coupling", "makespan", "speedup", "notifications"],
+    );
+    for &remote in &[0.05, 1.0] {
+        let trace = distributed::sparselu(4, remote, 42, 0.002);
+        for &nodes in &[1usize, 2, 4] {
+            let cfg = ClusterConfig::new(nodes, 8).with_link(link);
+            let out = simulate_cluster(&trace, &cfg, |_| NexusSharp::paper(6));
+            table.row(vec![
+                format!("{nodes}"),
+                format!("{:.0}%", remote * 100.0),
+                format!("{}", out.makespan),
+                format!("{:.2}x", out.speedup()),
+                format!("{}", out.notifications),
+            ]);
+        }
     }
     table.print();
 }

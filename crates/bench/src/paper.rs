@@ -97,7 +97,7 @@ pub const TABLE3: &[(u32, u64, u64, f64)] = &[
 
 /// §IV-E micro-benchmark: cycles to insert 5 independent 2-parameter tasks.
 pub const MICRO_BENCH_NEXUS_SHARP_CYCLES: u64 = 78;
-/// The same micro-benchmark on the task-superscalar prototype of [19].
+/// The same micro-benchmark on the task-superscalar prototype of \[19\].
 pub const MICRO_BENCH_TASK_SUPERSCALAR_CYCLES: u64 = 172;
 
 /// Fig. 9 headline: speedup of Nexus# (2 TG) on the 3000×3000 Gaussian

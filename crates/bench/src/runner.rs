@@ -19,6 +19,27 @@ pub fn gaussian_core_counts() -> Vec<usize> {
     vec![1, 2, 4, 8, 16, 32, 64]
 }
 
+/// Node counts for the cluster-scalability sweep.
+pub fn cluster_node_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// The interconnect used by the cluster benches: `NEXUS_LINK=rdma` (default),
+/// `ethernet` or `ideal`. Unrecognized values warn and fall back to `rdma`.
+pub fn cluster_link() -> nexus_cluster::LinkConfig {
+    match std::env::var("NEXUS_LINK").as_deref() {
+        Ok("ethernet") => nexus_cluster::LinkConfig::ethernet(),
+        Ok("ideal") => nexus_cluster::LinkConfig::ideal(),
+        Ok("rdma") | Err(_) => nexus_cluster::LinkConfig::rdma(),
+        Ok(other) => {
+            eprintln!(
+                "warning: unknown NEXUS_LINK={other:?} (expected rdma|ethernet|ideal), using rdma"
+            );
+            nexus_cluster::LinkConfig::rdma()
+        }
+    }
+}
+
 /// The workload scale factor used by the benches: `NEXUS_FULL=1` forces 1.0,
 /// otherwise `NEXUS_BENCH_SCALE` (default 0.1).
 pub fn bench_scale() -> f64 {

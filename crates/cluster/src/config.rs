@@ -1,0 +1,139 @@
+//! Cluster and interconnect configuration.
+
+use nexus_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How the nodes are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// One shared medium: every message (any source, any destination)
+    /// serializes on the same wire. The pessimistic end of the design space —
+    /// cross-node traffic contends globally.
+    SharedBus,
+    /// A dedicated link per ordered node pair: messages only queue behind
+    /// traffic of the same (source, destination) pair.
+    FullMesh,
+}
+
+/// Timing parameters of the interconnect links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Propagation latency added to every message after serialization.
+    pub latency: SimDuration,
+    /// Serialization cost per 32-bit word (the inverse of bandwidth).
+    pub per_word: SimDuration,
+    /// Wiring between the nodes.
+    pub topology: Topology,
+}
+
+impl LinkConfig {
+    /// An infinitely fast interconnect — the shared-memory limit, useful as a
+    /// baseline to isolate pure interconnect effects.
+    pub fn ideal() -> Self {
+        LinkConfig {
+            latency: SimDuration::ZERO,
+            per_word: SimDuration::ZERO,
+            topology: Topology::FullMesh,
+        }
+    }
+
+    /// A low-latency RDMA-class fabric: 1.5 µs end-to-end latency, 10 GB/s per
+    /// link (0.4 ns per 32-bit word), dedicated links per node pair.
+    pub fn rdma() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_ns(1500),
+            per_word: SimDuration::from_ps(400),
+            topology: Topology::FullMesh,
+        }
+    }
+
+    /// A commodity-Ethernet-class network: 50 µs latency, ~1.25 GB/s
+    /// (3.2 ns per 32-bit word), one shared medium.
+    pub fn ethernet() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_us(50),
+            per_word: SimDuration::from_ps(3200),
+            topology: Topology::SharedBus,
+        }
+    }
+
+    /// Same parameters with a different topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Same parameters with a different propagation latency.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::rdma()
+    }
+}
+
+/// Configuration of a multi-node cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of Nexus# nodes. Node 0 additionally hosts the master thread
+    /// that replays the trace.
+    pub nodes: usize,
+    /// Worker cores per node (each node also has its own task manager).
+    pub workers_per_node: usize,
+    /// Interconnect timing and topology.
+    pub link: LinkConfig,
+    /// Safety limit on simulation events (guards against model bugs producing
+    /// infinite event loops). The default of 10¹⁰ is ~25× what the largest
+    /// full-size paper workload generates cluster-wide.
+    pub max_events: u64,
+}
+
+impl ClusterConfig {
+    /// Default event-count guard (see [`ClusterConfig::max_events`]).
+    pub const DEFAULT_MAX_EVENTS: u64 = 10_000_000_000;
+
+    /// A cluster of `nodes` nodes with `workers_per_node` worker cores each,
+    /// connected by the default RDMA-class interconnect.
+    pub fn new(nodes: usize, workers_per_node: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            workers_per_node,
+            link: LinkConfig::default(),
+            max_events: Self::DEFAULT_MAX_EVENTS,
+        }
+    }
+
+    /// Same cluster with a different interconnect.
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Total worker cores across the cluster.
+    pub fn total_workers(&self) -> usize {
+        self.nodes * self.workers_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ClusterConfig::new(4, 8).with_link(
+            LinkConfig::ethernet()
+                .with_topology(Topology::FullMesh)
+                .with_latency(SimDuration::from_us(10)),
+        );
+        assert_eq!(cfg.total_workers(), 32);
+        assert_eq!(cfg.link.topology, Topology::FullMesh);
+        assert_eq!(cfg.link.latency, SimDuration::from_us(10));
+        assert_eq!(LinkConfig::default(), LinkConfig::rdma());
+        assert!(LinkConfig::ideal().latency.is_zero());
+    }
+}

@@ -1,0 +1,635 @@
+//! The multi-node cluster simulation.
+//!
+//! [`ClusterDriver`] owns one task manager and one [`WorkerPool`] per node and
+//! replays a trace on the whole cluster:
+//!
+//! * the **master** (on node 0) streams trace operations in program order;
+//!   each submitted task is routed to its home node (affinity hint, falling
+//!   back to the XOR distribution function at cluster scope) and its
+//!   descriptor is forwarded over the interconnect (`transfer_words()` words,
+//!   as over PCIe in the single-chip design);
+//! * each node's **input processor** hands arrived descriptors to the local
+//!   manager strictly in arrival order (the links are FIFO, so this is
+//!   per-node program order — local dependency semantics are preserved by the
+//!   manager exactly as in the single-node testbench);
+//! * **cross-node dependencies** (a task whose last-writer producer lives on
+//!   another node) are enforced by the driver: the consumer is held in its
+//!   node's pending queue until the producer's retirement notification
+//!   ([`NOTIFY_WORDS`] words) has crossed the interconnect;
+//! * every retirement is also forwarded to the master, which implements
+//!   `taskwait` / `taskwait on` over the cluster-wide retirement count.
+//!
+//! Cross-node anti-dependencies (a remote writer overtaking a remote reader)
+//! are intentionally *not* ordered: as in distributed task-based runtimes
+//! (DuctTeip's versioned data, the distributed runtime of Bosch et al.), each
+//! node works on its own copy of remote data, so write-after-read hazards are
+//! resolved by renaming rather than by synchronization.
+
+use crate::config::ClusterConfig;
+use crate::interconnect::Interconnect;
+use crate::outcome::{ClusterOutcome, LinkStats};
+use crate::routing::DepScanner;
+use nexus_host::manager::{ManagerEvent, TaskManager};
+use nexus_host::metrics::SimOutcome;
+use nexus_host::pool::WorkerPool;
+use nexus_sim::{EventQueue, SimDuration, SimTime};
+use nexus_trace::{TaskDescriptor, TaskId, Trace, TraceOp};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Words on the wire for a retirement / dependency notification (message tag
+/// plus task id).
+pub const NOTIFY_WORDS: u64 = 2;
+
+/// What the cluster master is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MasterState {
+    Running,
+    /// Waiting for all tasks (`None`) or one task (`Some`) to retire,
+    /// as seen from the master.
+    WaitingBarrier(Option<TaskId>),
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The master executes its next trace operation.
+    MasterStep,
+    /// A task descriptor reaches its home node's input queue.
+    DescriptorArrive { node: usize, idx: usize },
+    /// A remote-dependency notification reaches the consumer's node.
+    NotifyArrive { idx: usize },
+    /// A node's input processor retries handing pending tasks to its manager.
+    Pump { node: usize },
+    /// A node-local ready notification becomes visible.
+    Ready { node: usize, task: TaskId },
+    /// A worker on `node` finished executing `task`.
+    WorkerFinish { node: usize, task: TaskId },
+    /// A worker on `node` becomes available again.
+    WorkerFree { node: usize },
+    /// A node's manager retired a task.
+    Retired { node: usize, task: TaskId },
+    /// A retirement notification reaches the master.
+    MasterSawRetire { task: TaskId },
+}
+
+/// Per-task routing and cross-node dependency bookkeeping.
+struct TaskMeta {
+    home: usize,
+    /// Indices (into submission order) of remote last-writer producers.
+    remote_producers: Vec<usize>,
+    /// Remote producers whose retirement notification has not yet arrived.
+    remaining_remote: usize,
+    /// When the task retired on its home node (if it has).
+    retired_at_home: Option<SimTime>,
+    /// Consumers (by index) waiting for this producer's retirement.
+    subscribers: Vec<usize>,
+}
+
+/// One simulated node: its manager, worker pool and input queue.
+struct NodeState<M> {
+    manager: M,
+    pool: WorkerPool,
+    /// Arrived tasks not yet handed to the manager, in arrival order.
+    pending: VecDeque<usize>,
+    /// The node's submission interface is busy until this time.
+    input_free: SimTime,
+    /// Tasks arrived at this node and not yet retired (for idle accounting).
+    outstanding: u64,
+    executed: u64,
+    retired: u64,
+    total_work: SimDuration,
+    idle_area: SimDuration,
+    last_accounting: SimTime,
+    makespan: SimTime,
+    max_pending: usize,
+}
+
+impl<M> NodeState<M> {
+    /// Integrates idle-worker time up to `now` and advances the local clock.
+    fn touch(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_accounting);
+        if self.outstanding > 0 && self.pool.free() > 0 {
+            self.idle_area += dt * self.pool.free().min(self.outstanding as usize) as u64;
+        }
+        self.last_accounting = now;
+        self.makespan = self.makespan.max(now);
+    }
+}
+
+/// A cluster of simulated Nexus# nodes connected by an interconnect.
+pub struct ClusterDriver<M> {
+    cfg: ClusterConfig,
+    nodes: Vec<NodeState<M>>,
+    net: Interconnect,
+}
+
+impl<M: TaskManager> ClusterDriver<M> {
+    /// Builds a cluster per `cfg`; `make_manager(node)` constructs each node's
+    /// task manager.
+    ///
+    /// # Panics
+    /// Panics if `cfg.nodes` or `cfg.workers_per_node` is zero.
+    pub fn new(cfg: &ClusterConfig, mut make_manager: impl FnMut(usize) -> M) -> Self {
+        assert!(cfg.nodes > 0, "need at least one node");
+        assert!(
+            cfg.workers_per_node > 0,
+            "need at least one worker per node"
+        );
+        let nodes = (0..cfg.nodes)
+            .map(|n| NodeState {
+                manager: make_manager(n),
+                pool: WorkerPool::new(cfg.workers_per_node),
+                pending: VecDeque::new(),
+                input_free: SimTime::ZERO,
+                outstanding: 0,
+                executed: 0,
+                retired: 0,
+                total_work: SimDuration::ZERO,
+                idle_area: SimDuration::ZERO,
+                last_accounting: SimTime::ZERO,
+                makespan: SimTime::ZERO,
+                max_pending: 0,
+            })
+            .collect();
+        ClusterDriver {
+            cfg: *cfg,
+            nodes,
+            net: Interconnect::new(cfg.nodes, &cfg.link),
+        }
+    }
+
+    /// Runs `trace` to completion on the cluster. Panics if the simulation
+    /// deadlocks (which would indicate a model bug).
+    pub fn run(mut self, trace: &Trace) -> ClusterOutcome {
+        let tasks: Vec<&TaskDescriptor> = trace.tasks().collect();
+        let idx_of: HashMap<TaskId, usize> =
+            tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        let durations: HashMap<TaskId, SimDuration> =
+            tasks.iter().map(|t| (t.id, t.duration)).collect();
+        let (mut metas, edges) = self.analyze(&tasks);
+        for (i, t) in tasks.iter().enumerate() {
+            self.nodes[metas[i].home].total_work += t.duration;
+        }
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut master = MasterState::Running;
+        let mut op_idx = 0usize;
+        let mut submitted: u64 = 0;
+        let mut master_retired: HashSet<TaskId> = HashSet::new();
+        let mut master_last_writer: HashMap<u64, TaskId> = HashMap::new();
+        let mut master_barrier_since: Option<SimTime> = None;
+        let mut master_barrier_time = SimDuration::ZERO;
+        let mut notifications: u64 = 0;
+        let mut makespan = SimTime::ZERO;
+        let mut events_processed: u64 = 0;
+
+        queue.schedule(SimTime::ZERO, Event::MasterStep);
+
+        while let Some(ev) = queue.pop() {
+            let now = ev.time;
+            makespan = makespan.max(now);
+            events_processed += 1;
+            if events_processed > self.cfg.max_events {
+                panic!(
+                    "cluster simulation exceeded {} events on {}",
+                    self.cfg.max_events, trace.name
+                );
+            }
+
+            match ev.payload {
+                Event::MasterStep => {
+                    if master == MasterState::Done {
+                        continue;
+                    }
+                    master = MasterState::Running;
+                    match trace.ops.get(op_idx) {
+                        None => {
+                            master = MasterState::Done;
+                        }
+                        Some(TraceOp::Submit(task)) => {
+                            let idx = idx_of[&task.id];
+                            let home = metas[idx].home;
+                            submitted += 1;
+                            for p in task.outputs() {
+                                master_last_writer.insert(p.addr, task.id);
+                            }
+                            // Forward the descriptor to its home node.
+                            let d = self.net.send(0, home, task.transfer_words(), now);
+                            queue
+                                .schedule(d.delivered, Event::DescriptorArrive { node: home, idx });
+                            // Subscribe to (or directly forward) the remote
+                            // dependency notifications the task needs.
+                            let producers = metas[idx].remote_producers.clone();
+                            for p in producers {
+                                match metas[p].retired_at_home {
+                                    Some(_) => {
+                                        let ph = metas[p].home;
+                                        let d = self.net.send(ph, home, NOTIFY_WORDS, now);
+                                        notifications += 1;
+                                        queue.schedule(d.delivered, Event::NotifyArrive { idx });
+                                    }
+                                    None => metas[p].subscribers.push(idx),
+                                }
+                            }
+                            op_idx += 1;
+                            queue.schedule(d.sender_free.max(now), Event::MasterStep);
+                        }
+                        Some(TraceOp::Taskwait) => {
+                            if master_retired.len() as u64 == submitted {
+                                op_idx += 1;
+                                queue.schedule(now, Event::MasterStep);
+                            } else {
+                                master = MasterState::WaitingBarrier(None);
+                                master_barrier_since.get_or_insert(now);
+                            }
+                        }
+                        Some(TraceOp::TaskwaitOn(addr)) => {
+                            let supported = self.nodes[0].manager.supports_taskwait_on();
+                            let target = if supported {
+                                master_last_writer.get(addr).copied()
+                            } else {
+                                None // escalate to a full taskwait
+                            };
+                            let satisfied = match target {
+                                Some(t) => master_retired.contains(&t),
+                                None => supported || master_retired.len() as u64 == submitted,
+                            };
+                            if satisfied {
+                                op_idx += 1;
+                                queue.schedule(now, Event::MasterStep);
+                            } else {
+                                master = MasterState::WaitingBarrier(target);
+                                master_barrier_since.get_or_insert(now);
+                            }
+                        }
+                        Some(TraceOp::MasterCompute(d)) => {
+                            op_idx += 1;
+                            queue.schedule(now + *d, Event::MasterStep);
+                        }
+                    }
+                }
+
+                Event::DescriptorArrive { node, idx } => {
+                    let n = &mut self.nodes[node];
+                    n.touch(now);
+                    n.outstanding += 1;
+                    n.pending.push_back(idx);
+                    n.max_pending = n.max_pending.max(n.pending.len());
+                    self.pump(node, now, &metas, &tasks, &mut queue);
+                }
+
+                Event::NotifyArrive { idx } => {
+                    let meta = &mut metas[idx];
+                    meta.remaining_remote -= 1;
+                    let home = meta.home;
+                    self.nodes[home].touch(now);
+                    self.pump(home, now, &metas, &tasks, &mut queue);
+                }
+
+                Event::Pump { node } => {
+                    self.nodes[node].touch(now);
+                    self.pump(node, now, &metas, &tasks, &mut queue);
+                }
+
+                Event::Ready { node, task } => {
+                    let n = &mut self.nodes[node];
+                    n.touch(now);
+                    n.pool.enqueue(task);
+                    Self::dispatch(n, node, now, &durations, &mut queue);
+                }
+
+                Event::WorkerFinish { node, task } => {
+                    let n = &mut self.nodes[node];
+                    n.touch(now);
+                    n.executed += 1;
+                    let free_at = n.manager.finish(task, now);
+                    Self::drain(n, node, now, &mut queue);
+                    queue.schedule(free_at.max(now), Event::WorkerFree { node });
+                }
+
+                Event::WorkerFree { node } => {
+                    let n = &mut self.nodes[node];
+                    n.touch(now);
+                    n.pool.release();
+                    Self::dispatch(n, node, now, &durations, &mut queue);
+                }
+
+                Event::Retired { node, task } => {
+                    let n = &mut self.nodes[node];
+                    n.touch(now);
+                    n.retired += 1;
+                    n.outstanding -= 1;
+                    let idx = idx_of[&task];
+                    metas[idx].retired_at_home = Some(now);
+                    // Forward the retirement to every subscribed consumer…
+                    for sub in std::mem::take(&mut metas[idx].subscribers) {
+                        let d = self.net.send(node, metas[sub].home, NOTIFY_WORDS, now);
+                        notifications += 1;
+                        queue.schedule(d.delivered, Event::NotifyArrive { idx: sub });
+                    }
+                    // …and to the master (free if the task retired on node 0).
+                    let d = self.net.send(node, 0, NOTIFY_WORDS, now);
+                    queue.schedule(d.delivered, Event::MasterSawRetire { task });
+                    // A task-pool slot may have been freed.
+                    self.pump(node, now, &metas, &tasks, &mut queue);
+                }
+
+                Event::MasterSawRetire { task } => {
+                    master_retired.insert(task);
+                    if let MasterState::WaitingBarrier(target) = master {
+                        let satisfied = match target {
+                            Some(t) => master_retired.contains(&t),
+                            None => master_retired.len() as u64 == submitted,
+                        };
+                        if satisfied {
+                            if let Some(since) = master_barrier_since.take() {
+                                master_barrier_time += now.since(since);
+                            }
+                            master = MasterState::Running;
+                            queue.schedule(now, Event::MasterStep);
+                        }
+                    }
+                }
+            }
+        }
+
+        assert_eq!(
+            master,
+            MasterState::Done,
+            "cluster master never finished the trace ({}; deadlock?)",
+            trace.name
+        );
+        let executed: u64 = self.nodes.iter().map(|n| n.executed).sum();
+        assert_eq!(
+            executed as usize,
+            tasks.len(),
+            "not all tasks executed on the cluster ({})",
+            trace.name
+        );
+        let retired: u64 = self.nodes.iter().map(|n| n.retired).sum();
+        assert_eq!(retired as usize, tasks.len());
+
+        let link = LinkStats {
+            messages: self.net.messages(),
+            words: self.net.words(),
+            busy_time: self.net.busy_time(),
+            wait_time: self.net.wait_time(),
+            peak_utilization: self.net.peak_utilization(makespan),
+        };
+        let max_pending_depth = self.nodes.iter().map(|n| n.max_pending).max().unwrap_or(0);
+        let per_node: Vec<SimOutcome> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| SimOutcome {
+                benchmark: format!("{} [node {i}]", trace.name),
+                manager: n.manager.name(),
+                workers: self.cfg.workers_per_node,
+                makespan: n.makespan.since(SimTime::ZERO),
+                total_work: n.total_work,
+                tasks: n.executed,
+                master_barrier_time: SimDuration::ZERO,
+                master_backpressure_time: SimDuration::ZERO,
+                worker_idle_time: n.idle_area,
+                manager_stats: n.manager.stats_summary(),
+            })
+            .collect();
+
+        ClusterOutcome {
+            benchmark: trace.name.clone(),
+            manager: self.nodes[0].manager.name(),
+            nodes: self.cfg.nodes,
+            workers_per_node: self.cfg.workers_per_node,
+            makespan: makespan.since(SimTime::ZERO),
+            total_work: trace.total_work(),
+            tasks: executed,
+            master_barrier_time,
+            per_node,
+            edges,
+            notifications,
+            link,
+            max_pending_depth,
+        }
+    }
+
+    /// Routes every task and finds its remote last-writer producers, in the
+    /// same pass that accumulates the edge census (one [`DepScanner`] scan —
+    /// the reported statistics and the enforced dependencies cannot diverge).
+    fn analyze(&self, tasks: &[&TaskDescriptor]) -> (Vec<TaskMeta>, crate::routing::EdgeStats) {
+        let mut scanner = DepScanner::new(self.cfg.nodes);
+        let mut metas: Vec<TaskMeta> = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let (home, remote_producers) = scanner.scan(task);
+            metas.push(TaskMeta {
+                home,
+                remaining_remote: remote_producers.len(),
+                remote_producers,
+                retired_at_home: None,
+                subscribers: Vec::new(),
+            });
+        }
+        (metas, scanner.stats())
+    }
+
+    /// Hands pending tasks at `node` to the local manager: strictly in arrival
+    /// order, only once all remote dependencies have arrived, respecting the
+    /// manager's back-pressure and the submission interface's busy time.
+    fn pump(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        metas: &[TaskMeta],
+        tasks: &[&TaskDescriptor],
+        queue: &mut EventQueue<Event>,
+    ) {
+        let n = &mut self.nodes[node];
+        while let Some(&idx) = n.pending.front() {
+            if metas[idx].remaining_remote > 0 {
+                break; // head-of-line: preserves per-node program order
+            }
+            if !n.manager.can_accept(now) {
+                break; // re-pumped when a retirement frees a pool slot
+            }
+            if now < n.input_free {
+                // A submittable head is blocked only by the busy submission
+                // interface: retry exactly when it frees up.
+                queue.schedule(n.input_free, Event::Pump { node });
+                break;
+            }
+            n.pending.pop_front();
+            let release = n.manager.submit(tasks[idx], now);
+            Self::drain(n, node, now, queue);
+            n.input_free = release.max(now);
+        }
+    }
+
+    /// Schedules manager notifications onto the global event queue.
+    fn schedule_events(
+        events: impl IntoIterator<Item = ManagerEvent>,
+        node: usize,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        for ev in events {
+            match ev {
+                ManagerEvent::Ready { task, at } => {
+                    queue.schedule(at.max(now), Event::Ready { node, task });
+                }
+                ManagerEvent::Retired { task, at } => {
+                    queue.schedule(at.max(now), Event::Retired { node, task });
+                }
+            }
+        }
+    }
+
+    /// Drains a node manager's notifications into the global event queue.
+    fn drain(n: &mut NodeState<M>, node: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        let events = n.manager.drain_events();
+        Self::schedule_events(events, node, now, queue);
+    }
+
+    /// Hands queued ready tasks to free workers on `node`.
+    fn dispatch(
+        n: &mut NodeState<M>,
+        node: usize,
+        now: SimTime,
+        durations: &HashMap<TaskId, SimDuration>,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let manager = &mut n.manager;
+        let pool = &mut n.pool;
+        let mut drained = Vec::new();
+        pool.dispatch(|task| {
+            let extra = manager.dispatch_cost(task, now);
+            drained.extend(manager.drain_events());
+            queue.schedule(
+                now + extra + durations[&task],
+                Event::WorkerFinish { node, task },
+            );
+        });
+        Self::schedule_events(drained, node, now, queue);
+    }
+}
+
+/// Runs `trace` on a cluster configured by `cfg`, constructing each node's
+/// manager with `make_manager`. Convenience wrapper around [`ClusterDriver`].
+pub fn simulate_cluster<M: TaskManager>(
+    trace: &Trace,
+    cfg: &ClusterConfig,
+    make_manager: impl FnMut(usize) -> M,
+) -> ClusterOutcome {
+    ClusterDriver::new(cfg, make_manager).run(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LinkConfig;
+    use nexus_host::IdealManager;
+    use nexus_trace::generators::{distributed, micro};
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_us(v)
+    }
+
+    #[test]
+    fn single_node_ideal_cluster_matches_the_host_driver() {
+        // With one node and an ideal link, the cluster reduces to the
+        // single-node testbench (modulo the asynchronous master, which cannot
+        // matter for an ideal manager with zero submission cost).
+        let trace = micro::wavefront(8, 8, us(10));
+        let cfg = ClusterConfig::new(1, 16).with_link(LinkConfig::ideal());
+        let out = simulate_cluster(&trace, &cfg, |_| IdealManager::new());
+        let host = nexus_host::simulate(
+            &trace,
+            &mut IdealManager::new(),
+            &nexus_host::HostConfig::with_workers(16),
+        );
+        assert_eq!(out.makespan, host.makespan);
+        assert_eq!(out.tasks, host.tasks);
+        assert_eq!(out.notifications, 0);
+        assert_eq!(out.link.messages, 0);
+    }
+
+    #[test]
+    fn independent_domains_scale_with_the_node_count() {
+        let trace = distributed::wavefront(4, 0.0, 6, 6, us(50), 1);
+        let cfg1 = ClusterConfig::new(1, 4).with_link(LinkConfig::rdma());
+        let cfg4 = ClusterConfig::new(4, 4).with_link(LinkConfig::rdma());
+        let one = simulate_cluster(&trace, &cfg1, |_| IdealManager::new());
+        let four = simulate_cluster(&trace, &cfg4, |_| IdealManager::new());
+        assert_eq!(one.tasks, four.tasks);
+        assert!(
+            four.makespan.as_us_f64() < 0.5 * one.makespan.as_us_f64(),
+            "4 nodes {} vs 1 node {}",
+            four.makespan,
+            one.makespan
+        );
+        // Descriptor traffic crossed the network, but no dependency
+        // notifications (the domains are independent).
+        assert!(four.link.messages > 0);
+        assert_eq!(four.notifications, 0);
+        assert_eq!(four.edges.remote, 0);
+    }
+
+    #[test]
+    fn remote_dependencies_pay_the_link_latency() {
+        // Two tasks on different nodes, consumer reads producer's output.
+        let mut b = nexus_trace::trace::TraceBuilder::new("remote-pair");
+        b.submit_with(|id| {
+            TaskDescriptor::builder(id.0)
+                .output(0x100)
+                .duration(us(10))
+                .affinity(0)
+                .build()
+        });
+        b.submit_with(|id| {
+            TaskDescriptor::builder(id.0)
+                .input(0x100)
+                .inout(0x2000)
+                .duration(us(10))
+                .affinity(1)
+                .build()
+        });
+        b.taskwait();
+        let trace = b.finish();
+
+        let slow = LinkConfig {
+            latency: us(100),
+            per_word: SimDuration::ZERO,
+            topology: crate::config::Topology::FullMesh,
+        };
+        let fast = LinkConfig::ideal();
+        let cfg_slow = ClusterConfig::new(2, 1).with_link(slow);
+        let cfg_fast = ClusterConfig::new(2, 1).with_link(fast);
+        let out_slow = simulate_cluster(&trace, &cfg_slow, |_| IdealManager::new());
+        let out_fast = simulate_cluster(&trace, &cfg_fast, |_| IdealManager::new());
+        assert_eq!(out_fast.makespan, us(20));
+        // Producer retires at 10 us; its notification reaches node 1 at
+        // 110 us (the consumer's descriptor arrived at 100 us); the consumer
+        // runs until 120 us and its retirement notification reaches the
+        // master at 220 us.
+        assert_eq!(out_slow.makespan, us(220));
+        assert_eq!(out_slow.notifications, 1);
+        assert_eq!(out_slow.edges.remote, 1);
+        assert!(out_slow.master_barrier_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn runs_are_bit_identical() {
+        let trace = distributed::sparselu(4, 0.3, 9, 0.002);
+        let cfg = ClusterConfig::new(4, 4);
+        let a = simulate_cluster(&trace, &cfg, |_| IdealManager::new());
+        let b = simulate_cluster(&trace, &cfg, |_| IdealManager::new());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.notifications, b.notifications);
+        assert_eq!(a.link.words, b.link.words);
+        assert_eq!(a.node_tasks(), b.node_tasks());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ClusterDriver::new(&ClusterConfig::new(0, 4), |_| IdealManager::new());
+    }
+}

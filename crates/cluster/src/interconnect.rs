@@ -1,0 +1,130 @@
+//! The cluster interconnect: a set of [`LinkResource`]s wired per the
+//! configured [`Topology`].
+
+use crate::config::{LinkConfig, Topology};
+use nexus_sim::{LinkDelivery, LinkResource, SimDuration, SimTime};
+
+/// The network connecting the cluster nodes.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    topology: Topology,
+    nodes: usize,
+    /// `SharedBus`: one link. `FullMesh`: `nodes × nodes` links indexed
+    /// `from * nodes + to` (the diagonal is never used).
+    links: Vec<LinkResource>,
+}
+
+impl Interconnect {
+    /// Builds the interconnect for `nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize, cfg: &LinkConfig) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let count = match cfg.topology {
+            Topology::SharedBus => 1,
+            Topology::FullMesh => nodes * nodes,
+        };
+        Interconnect {
+            topology: cfg.topology,
+            nodes,
+            links: vec![LinkResource::new(cfg.latency, cfg.per_word); count],
+        }
+    }
+
+    /// Sends a `words`-word message from node `from` to node `to` at `now`.
+    /// Node-local messages (`from == to`) bypass the network entirely.
+    pub fn send(&mut self, from: usize, to: usize, words: u64, now: SimTime) -> LinkDelivery {
+        debug_assert!(from < self.nodes && to < self.nodes);
+        if from == to {
+            return LinkDelivery {
+                sender_free: now,
+                delivered: now,
+            };
+        }
+        let idx = match self.topology {
+            Topology::SharedBus => 0,
+            Topology::FullMesh => from * self.nodes + to,
+        };
+        self.links[idx].send(now, words)
+    }
+
+    /// Total messages that crossed the network.
+    pub fn messages(&self) -> u64 {
+        self.links.iter().map(|l| l.messages()).sum()
+    }
+
+    /// Total words that crossed the network.
+    pub fn words(&self) -> u64 {
+        self.links.iter().map(|l| l.words()).sum()
+    }
+
+    /// Aggregate wire-busy time over all links.
+    pub fn busy_time(&self) -> SimDuration {
+        self.links.iter().map(|l| l.busy_time()).sum()
+    }
+
+    /// Aggregate time messages spent queued behind earlier traffic.
+    pub fn wait_time(&self) -> SimDuration {
+        self.links.iter().map(|l| l.wait_time()).sum()
+    }
+
+    /// Utilization of the busiest link over `[0, horizon]`.
+    pub fn peak_utilization(&self, horizon: SimTime) -> f64 {
+        self.links
+            .iter()
+            .map(|l| l.utilization(horizon))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_us(v)
+    }
+
+    #[test]
+    fn local_messages_are_free() {
+        let mut net = Interconnect::new(2, &LinkConfig::ethernet());
+        let now = SimTime::from_ps(123);
+        let d = net.send(1, 1, 1000, now);
+        assert_eq!(d.delivered, now);
+        assert_eq!(net.messages(), 0);
+    }
+
+    #[test]
+    fn bus_serializes_unrelated_pairs_but_mesh_does_not() {
+        let cfg = LinkConfig {
+            latency: us(10),
+            per_word: us(1),
+            topology: Topology::SharedBus,
+        };
+        let mut bus = Interconnect::new(4, &cfg);
+        let a = bus.send(0, 1, 5, SimTime::ZERO);
+        let b = bus.send(2, 3, 5, SimTime::ZERO);
+        assert!(b.delivered > a.delivered, "bus traffic must contend");
+
+        let mut mesh = Interconnect::new(4, &cfg.with_topology(Topology::FullMesh));
+        let a = mesh.send(0, 1, 5, SimTime::ZERO);
+        let b = mesh.send(2, 3, 5, SimTime::ZERO);
+        assert_eq!(a.delivered, b.delivered, "mesh pairs are independent");
+        assert_eq!(mesh.messages(), 2);
+        assert_eq!(mesh.words(), 10);
+    }
+
+    #[test]
+    fn peak_utilization_tracks_the_hot_link() {
+        let cfg = LinkConfig {
+            latency: SimDuration::ZERO,
+            per_word: us(1),
+            topology: Topology::FullMesh,
+        };
+        let mut net = Interconnect::new(2, &cfg);
+        net.send(0, 1, 50, SimTime::ZERO);
+        let horizon = SimTime::from_ps(us(100).as_ps());
+        assert!((net.peak_utilization(horizon) - 0.5).abs() < 1e-9);
+    }
+}

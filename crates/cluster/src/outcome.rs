@@ -1,0 +1,155 @@
+//! Cluster simulation outcomes: per-node [`SimOutcome`]s plus aggregate and
+//! interconnect metrics.
+
+use crate::routing::EdgeStats;
+use nexus_host::SimOutcome;
+use nexus_sim::stats::LoadBalance;
+use nexus_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate interconnect traffic of one cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Messages that crossed the network (descriptors + notifications).
+    pub messages: u64,
+    /// 32-bit words that crossed the network.
+    pub words: u64,
+    /// Aggregate wire-busy (serialization) time over all links.
+    pub busy_time: SimDuration,
+    /// Aggregate time messages queued behind earlier traffic.
+    pub wait_time: SimDuration,
+    /// Utilization of the busiest link over the makespan.
+    pub peak_utilization: f64,
+}
+
+/// The result of one multi-node cluster simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterOutcome {
+    /// Name of the benchmark trace.
+    pub benchmark: String,
+    /// Name of the per-node task manager.
+    pub manager: String,
+    /// Number of nodes simulated.
+    pub nodes: usize,
+    /// Worker cores per node.
+    pub workers_per_node: usize,
+    /// End-to-end cluster execution time.
+    pub makespan: SimDuration,
+    /// Sum of all task durations.
+    pub total_work: SimDuration,
+    /// Number of tasks executed (cluster-wide).
+    pub tasks: u64,
+    /// Time the master spent blocked on barriers.
+    pub master_barrier_time: SimDuration,
+    /// One [`SimOutcome`] per node (local makespan, work, idle time, manager
+    /// diagnostics).
+    pub per_node: Vec<SimOutcome>,
+    /// Dependency-edge census under the cluster routing.
+    pub edges: EdgeStats,
+    /// Cross-node dependency notifications forwarded over the interconnect.
+    pub notifications: u64,
+    /// Interconnect traffic summary.
+    pub link: LinkStats,
+    /// Deepest per-node backlog of tasks waiting for remote dependencies or
+    /// manager capacity.
+    pub max_pending_depth: usize,
+}
+
+impl ClusterOutcome {
+    /// Speedup relative to the single-core ideal execution time (the paper's
+    /// definition, extended cluster-wide).
+    pub fn speedup(&self) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            self.total_work.as_us_f64() / self.makespan.as_us_f64()
+        }
+    }
+
+    /// Parallel efficiency over all worker cores in the cluster.
+    pub fn efficiency(&self) -> f64 {
+        let workers = self.nodes * self.workers_per_node;
+        if workers == 0 {
+            0.0
+        } else {
+            self.speedup() / workers as f64
+        }
+    }
+
+    /// Fraction of dependency edges that crossed nodes.
+    pub fn remote_edge_fraction(&self) -> f64 {
+        self.edges.remote_fraction()
+    }
+
+    /// Tasks executed per node.
+    pub fn node_tasks(&self) -> Vec<u64> {
+        self.per_node.iter().map(|o| o.tasks).collect()
+    }
+
+    /// Load balance of task placement across the nodes.
+    pub fn balance(&self) -> LoadBalance {
+        LoadBalance::new(self.node_tasks())
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<28} {:<18} {}x{:<3} cores  makespan {:>12}  speedup {:>7.2}x  remote {:>5.1}%  link peak {:>5.1}%",
+            self.benchmark,
+            self.manager,
+            self.nodes,
+            self.workers_per_node,
+            format!("{}", self.makespan),
+            self.speedup(),
+            self.remote_edge_fraction() * 100.0,
+            self.link.peak_utilization * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(makespan_us: u64, work_us: u64) -> ClusterOutcome {
+        ClusterOutcome {
+            benchmark: "unit".into(),
+            manager: "test".into(),
+            nodes: 2,
+            workers_per_node: 4,
+            makespan: SimDuration::from_us(makespan_us),
+            total_work: SimDuration::from_us(work_us),
+            tasks: 10,
+            master_barrier_time: SimDuration::ZERO,
+            per_node: Vec::new(),
+            edges: EdgeStats {
+                total: 10,
+                remote: 3,
+            },
+            notifications: 3,
+            link: LinkStats {
+                messages: 3,
+                words: 6,
+                busy_time: SimDuration::ZERO,
+                wait_time: SimDuration::ZERO,
+                peak_utilization: 0.0,
+            },
+            max_pending_depth: 1,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let o = outcome(250, 1000);
+        assert!((o.speedup() - 4.0).abs() < 1e-12);
+        assert!((o.efficiency() - 0.5).abs() < 1e-12);
+        assert!((o.remote_edge_fraction() - 0.3).abs() < 1e-12);
+        assert!(o.summary().contains("4.00x"));
+    }
+
+    #[test]
+    fn zero_makespan_is_benign() {
+        let o = outcome(0, 0);
+        assert_eq!(o.speedup(), 0.0);
+    }
+}

@@ -7,9 +7,10 @@
 
 use crate::manager::{ManagerEvent, TaskManager};
 use crate::metrics::SimOutcome;
+use crate::pool::WorkerPool;
 use nexus_sim::{EventQueue, SimDuration, SimTime};
 use nexus_trace::{TaskDescriptor, TaskId, Trace, TraceOp};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 /// Host machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,8 +75,7 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
     let tasks: HashMap<TaskId, &TaskDescriptor> = trace.tasks().map(|t| (t.id, t)).collect();
 
     let mut queue: EventQueue<Event> = EventQueue::new();
-    let mut ready: VecDeque<TaskId> = VecDeque::new();
-    let mut free_workers = cfg.workers;
+    let mut pool = WorkerPool::new(cfg.workers);
     let mut master = MasterState::Running;
     let mut op_idx = 0usize;
     let mut submitted: u64 = 0;
@@ -126,8 +126,8 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
 
         // Integrate idle-worker area (workers idle while work is outstanding).
         let dt = now.saturating_since(last_accounting);
-        if outstanding_tasks > 0 && free_workers > 0 {
-            idle_worker_area += dt * free_workers.min(outstanding_tasks as usize) as u64;
+        if outstanding_tasks > 0 && pool.free() > 0 {
+            idle_worker_area += dt * pool.free().min(outstanding_tasks as usize) as u64;
         }
         last_accounting = now;
 
@@ -199,16 +199,14 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
             }
 
             Event::ReadyVisible(task) => {
-                ready.push_back(task);
+                pool.enqueue(task);
                 // Dispatch as many ready tasks as there are free workers.
-                while free_workers > 0 {
-                    let Some(next) = ready.pop_front() else { break };
+                pool.dispatch(|next| {
                     let extra = manager.dispatch_cost(next, now);
                     drain_manager!(now);
-                    free_workers -= 1;
                     let dur = tasks[&next].duration;
                     queue.schedule(now + extra + dur, Event::WorkerFinish(next));
-                }
+                });
             }
 
             Event::WorkerFinish(task) => {
@@ -219,15 +217,13 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
             }
 
             Event::WorkerFree => {
-                free_workers += 1;
-                while free_workers > 0 {
-                    let Some(next) = ready.pop_front() else { break };
+                pool.release();
+                pool.dispatch(|next| {
                     let extra = manager.dispatch_cost(next, now);
                     drain_manager!(now);
-                    free_workers -= 1;
                     let dur = tasks[&next].duration;
                     queue.schedule(now + extra + dur, Event::WorkerFinish(next));
-                }
+                });
             }
 
             Event::RetiredVisible(task) => {

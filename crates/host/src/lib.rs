@@ -17,6 +17,8 @@
 //!   on` semantics, with escalation when the manager lacks support) and a pool
 //!   of worker cores,
 //! * [`SimOutcome`] — makespan, speedup and diagnostic counters,
+//! * [`WorkerPool`] — the per-node ready-queue / free-worker state machine,
+//!   shared with the multi-node cluster driver (`nexus-cluster`),
 //! * [`sweep`] — speedup-vs-core-count curves and suite sweeps used by the
 //!   benchmark harness to regenerate Figs. 7–9 and Table IV.
 
@@ -26,12 +28,14 @@ pub mod driver;
 pub mod ideal;
 pub mod manager;
 pub mod metrics;
+pub mod pool;
 pub mod sweep;
 
 pub use driver::{simulate, HostConfig};
 pub use ideal::IdealManager;
 pub use manager::{ManagerEvent, TaskManager};
 pub use metrics::SimOutcome;
+pub use pool::WorkerPool;
 pub use sweep::{speedup_curve, SpeedupCurve, SpeedupPoint};
 
 /// Convenience prelude.
@@ -40,5 +44,6 @@ pub mod prelude {
     pub use crate::ideal::IdealManager;
     pub use crate::manager::{ManagerEvent, TaskManager};
     pub use crate::metrics::SimOutcome;
+    pub use crate::pool::WorkerPool;
     pub use crate::sweep::{speedup_curve, SpeedupCurve, SpeedupPoint};
 }

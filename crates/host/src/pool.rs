@@ -1,0 +1,116 @@
+//! The per-node worker-core pool.
+//!
+//! Both the single-node host driver ([`crate::driver::simulate`]) and the
+//! multi-node cluster driver (`nexus-cluster`) run the same inner loop on each
+//! simulated node: ready tasks queue up, free worker cores pull from the queue
+//! in FIFO order, and a finished worker immediately looks for more work.
+//! [`WorkerPool`] is that loop's state machine, extracted so every driver
+//! shares one implementation.
+
+use nexus_trace::TaskId;
+use std::collections::VecDeque;
+
+/// FIFO ready-queue plus free-worker accounting for one node.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    ready: VecDeque<TaskId>,
+    free: usize,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` idle worker cores.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker core");
+        WorkerPool {
+            ready: VecDeque::new(),
+            free: workers,
+            workers,
+        }
+    }
+
+    /// Total worker cores in the pool.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Worker cores currently idle.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.free
+    }
+
+    /// Ready tasks waiting for a worker.
+    #[inline]
+    pub fn queued(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Appends a ready task to the queue (it does not start until
+    /// [`WorkerPool::dispatch`] hands it to a free worker).
+    pub fn enqueue(&mut self, task: TaskId) {
+        self.ready.push_back(task);
+    }
+
+    /// Returns a worker core to the pool after its finish-notification cost.
+    pub fn release(&mut self) {
+        self.free += 1;
+        debug_assert!(
+            self.free <= self.workers,
+            "released more workers than exist"
+        );
+    }
+
+    /// Hands queued tasks to free workers in FIFO order, invoking `start` for
+    /// each dispatched task. The callback typically charges the manager's
+    /// dispatch cost and schedules the task's completion event.
+    pub fn dispatch(&mut self, mut start: impl FnMut(TaskId)) {
+        while self.free > 0 {
+            let Some(task) = self.ready.pop_front() else {
+                break;
+            };
+            self.free -= 1;
+            start(task);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_is_fifo_and_bounded_by_free_workers() {
+        let mut pool = WorkerPool::new(2);
+        for id in 0..4 {
+            pool.enqueue(TaskId(id));
+        }
+        let mut started = Vec::new();
+        pool.dispatch(|t| started.push(t));
+        assert_eq!(started, vec![TaskId(0), TaskId(1)]);
+        assert_eq!(pool.free(), 0);
+        assert_eq!(pool.queued(), 2);
+
+        pool.release();
+        pool.dispatch(|t| started.push(t));
+        assert_eq!(started.last(), Some(&TaskId(2)));
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn idle_pool_dispatches_nothing() {
+        let mut pool = WorkerPool::new(3);
+        pool.dispatch(|_| panic!("nothing queued"));
+        assert_eq!(pool.free(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_pool_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+}

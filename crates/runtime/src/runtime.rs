@@ -40,6 +40,24 @@ pub struct RuntimeStats {
     pub shards: usize,
     /// Largest number of tasks ever found waiting on a single resource key.
     pub max_waiters_on_a_key: usize,
+    /// Keys whose most recent writer is still in flight (the `taskwait on`
+    /// lookup table; retired writers are pruned, so this is bounded by the
+    /// in-flight footprint, not by the runtime's lifetime).
+    pub tracked_writers: usize,
+}
+
+/// Barrier state guarded by one mutex: the outstanding-task count plus the
+/// set of task ids some thread is currently blocked on in `taskwait on`.
+/// Keeping both under the same lock lets the retire path decide precisely
+/// whether a wakeup can matter, instead of broadcasting on every completion.
+#[derive(Default)]
+struct WaitState {
+    /// Submitted but not yet retired tasks.
+    outstanding: u64,
+    /// Waiter count per task id targeted by an active `taskwait_on`.
+    waited: HashMap<TaskId, usize>,
+    /// Threads blocked in a full `taskwait`.
+    barrier_waiters: usize,
 }
 
 struct Inner {
@@ -47,11 +65,11 @@ struct Inner {
     ready_tx: Sender<WorkerMsg>,
     /// In-flight task registry (needed to resolve released task ids).
     registry: Mutex<HashMap<TaskId, Arc<TaskState>>>,
-    /// Most recent writer of each key (for `taskwait on`).
+    /// Most recent writer of each key (for `taskwait on`). Entries are pruned
+    /// when their task retires.
     last_writer: Mutex<HashMap<u64, Arc<TaskState>>>,
-    /// Outstanding (submitted, not yet retired) task count, guarded for the
-    /// barrier condition variable.
-    outstanding: Mutex<u64>,
+    /// Barrier bookkeeping for `taskwait` / `taskwait on`.
+    wait: Mutex<WaitState>,
     completion: Condvar,
     next_id: AtomicU64,
     submitted: AtomicU64,
@@ -88,12 +106,35 @@ impl Inner {
         }
 
         task.done.store(true, Ordering::Release);
+
+        // Prune the task's entries from the `taskwait on` lookup table: a
+        // retired writer can never be waited on again, and keeping the entry
+        // would leak one `Arc<TaskState>` per written key for the lifetime of
+        // the runtime.
+        {
+            let mut last_writer = self.last_writer.lock();
+            for &(key, mode) in &task.accesses {
+                if mode.writes() {
+                    if let Some(current) = last_writer.get(&key) {
+                        if Arc::ptr_eq(current, &task) {
+                            last_writer.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+
         self.registry.lock().remove(&task.id);
         self.executed.fetch_add(1, Ordering::Relaxed);
 
-        let mut outstanding = self.outstanding.lock();
-        *outstanding -= 1;
-        self.completion.notify_all();
+        let mut wait = self.wait.lock();
+        wait.outstanding -= 1;
+        // Wake sleepers only when their condition could have changed: the
+        // barrier count reached zero, or this very task was being waited on.
+        let wake_barrier = wait.outstanding == 0 && wait.barrier_waiters > 0;
+        if wake_barrier || wait.waited.contains_key(&task.id) {
+            self.completion.notify_all();
+        }
     }
 }
 
@@ -127,7 +168,7 @@ impl Runtime {
             ready_tx,
             registry: Mutex::new(HashMap::new()),
             last_writer: Mutex::new(HashMap::new()),
-            outstanding: Mutex::new(0),
+            wait: Mutex::new(WaitState::default()),
             completion: Condvar::new(),
             next_id: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
@@ -180,10 +221,7 @@ impl Runtime {
             done: AtomicBool::new(false),
         });
 
-        {
-            let mut outstanding = self.inner.outstanding.lock();
-            *outstanding += 1;
-        }
+        self.inner.wait.lock().outstanding += 1;
         self.inner.registry.lock().insert(id, Arc::clone(&state));
 
         for &(key, mode) in &state.accesses {
@@ -215,20 +253,36 @@ impl Runtime {
     /// `#pragma omp taskwait`: blocks until every submitted task has finished.
     /// Must not be called from inside a task body.
     pub fn taskwait(&self) {
-        let mut outstanding = self.inner.outstanding.lock();
-        while *outstanding > 0 {
-            self.inner.completion.wait(&mut outstanding);
+        let mut wait = self.inner.wait.lock();
+        if wait.outstanding == 0 {
+            return;
         }
+        wait.barrier_waiters += 1;
+        while wait.outstanding > 0 {
+            self.inner.completion.wait(&mut wait);
+        }
+        wait.barrier_waiters -= 1;
     }
 
     /// `#pragma omp taskwait on(key)`: blocks until the most recently submitted
-    /// writer of `key` (if any) has finished.
+    /// writer of `key` (if any) has finished. A key nobody is currently
+    /// writing (cold, or whose writer already retired) returns immediately.
     pub fn taskwait_on(&self, key: u64) {
         let target = self.inner.last_writer.lock().get(&key).cloned();
         let Some(state) = target else { return };
-        let mut outstanding = self.inner.outstanding.lock();
+        let mut wait = self.inner.wait.lock();
+        if state.done.load(Ordering::Acquire) {
+            return;
+        }
+        *wait.waited.entry(state.id).or_insert(0) += 1;
         while !state.done.load(Ordering::Acquire) {
-            self.inner.completion.wait(&mut outstanding);
+            self.inner.completion.wait(&mut wait);
+        }
+        match wait.waited.get_mut(&state.id) {
+            Some(count) if *count > 1 => *count -= 1,
+            _ => {
+                wait.waited.remove(&state.id);
+            }
         }
     }
 
@@ -240,6 +294,7 @@ impl Runtime {
             workers: self.workers.len(),
             shards: self.inner.graph.shards(),
             max_waiters_on_a_key: self.inner.graph.max_kickoff_len(),
+            tracked_writers: self.inner.last_writer.lock().len(),
         }
     }
 
@@ -458,6 +513,83 @@ mod tests {
         rt.taskwait_on(0xDEAD);
         rt.taskwait();
         assert!(slow_done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn retired_writers_are_pruned_from_the_taskwait_on_table() {
+        let rt = Runtime::new(4).unwrap();
+        for i in 0..500u64 {
+            rt.submit(TaskSpec::new(|| {}).output(i * 64));
+        }
+        rt.taskwait();
+        // Without pruning this would hold 500 Arc<TaskState> forever.
+        assert_eq!(rt.stats().tracked_writers, 0);
+        // A key whose writer already retired behaves like a cold key.
+        rt.taskwait_on(0);
+        rt.taskwait_on(64);
+    }
+
+    #[test]
+    fn cold_key_wait_returns_immediately_despite_running_tasks() {
+        let rt = Runtime::new(2).unwrap();
+        let slow_done = Arc::new(AtomicBool::new(false));
+        {
+            let slow_done = Arc::clone(&slow_done);
+            rt.submit(
+                TaskSpec::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(400));
+                    slow_done.store(true, Ordering::SeqCst);
+                })
+                .output(0xA),
+            );
+        }
+        // Neither a never-written key nor an already-retired writer's key may
+        // wait for the unrelated slow task.
+        let t0 = std::time::Instant::now();
+        rt.taskwait_on(0xDEAD);
+        rt.submit(TaskSpec::new(|| {}).output(0xB));
+        while rt.stats().executed == 0 {
+            std::thread::yield_now();
+        }
+        rt.taskwait_on(0xB);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(200),
+            "cold-key waits blocked on an unrelated task ({:?})",
+            t0.elapsed()
+        );
+        assert!(!slow_done.load(Ordering::SeqCst));
+        rt.taskwait();
+        assert!(slow_done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn concurrent_taskwait_on_waiters_are_all_released() {
+        let rt = Arc::new(Runtime::new(2).unwrap());
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let done = Arc::clone(&done);
+            rt.submit(
+                TaskSpec::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    done.store(true, Ordering::SeqCst);
+                })
+                .output(0xC0),
+            );
+        }
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let rt = Arc::clone(&rt);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    rt.taskwait_on(0xC0);
+                    assert!(done.load(Ordering::SeqCst));
+                })
+            })
+            .collect();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        rt.taskwait();
     }
 
     #[test]

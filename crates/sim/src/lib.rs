@@ -11,6 +11,8 @@
 //!   stages, engines and ports,
 //! * [`LatencyFifo`] — the bounded FIFOs with a fixed forwarding latency that the
 //!   paper uses as the decoupling medium between pipeline stages,
+//! * [`LinkResource`] — a point-to-point interconnect link (latency + bandwidth
+//!   + serialization) used by the multi-node cluster simulation,
 //! * [`EventQueue`] — a time-ordered event queue for the multicore host simulation,
 //! * [`stats`] — online statistics and histograms used by the benchmark harness,
 //! * [`rng`] — a small deterministic pseudo-random generator so traces and
@@ -27,6 +29,7 @@
 pub mod clock;
 pub mod events;
 pub mod fifo;
+pub mod link;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -35,6 +38,7 @@ pub mod time;
 pub use clock::ClockDomain;
 pub use events::{EventQueue, TimedEvent};
 pub use fifo::LatencyFifo;
+pub use link::{LinkDelivery, LinkResource};
 pub use resource::{PooledResource, SerialResource};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
@@ -44,6 +48,7 @@ pub mod prelude {
     pub use crate::clock::ClockDomain;
     pub use crate::events::{EventQueue, TimedEvent};
     pub use crate::fifo::LatencyFifo;
+    pub use crate::link::{LinkDelivery, LinkResource};
     pub use crate::resource::{PooledResource, SerialResource};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Histogram, OnlineStats};

@@ -1,0 +1,248 @@
+//! Node-partitioned workloads for the multi-node cluster simulation.
+//!
+//! The single-node generators reproduce the paper's benchmarks; the cluster
+//! simulation (`nexus-cluster`) additionally needs traces whose tasks carry a
+//! *home node* and whose dependency edges cross nodes in a controlled way.
+//! Following the domain-decomposition style of distributed task-based runtimes
+//! (DuctTeip's hierarchical task pools, the distributed-manager runtime of
+//! Bosch et al.), [`partition`] builds such a trace from `N` per-node
+//! sub-problems:
+//!
+//! * each node owns a disjoint address domain (the sub-trace's addresses are
+//!   offset by [`NODE_ADDR_STRIDE`] per node, far above the low 20 bits the
+//!   XOR distribution function folds),
+//! * every task gets an affinity hint naming its home node,
+//! * submissions interleave round-robin across nodes, mimicking a master that
+//!   streams descriptors breadth-first over the domains,
+//! * a tunable fraction of tasks additionally reads a *halo* address — the
+//!   most recently written address of a neighbouring node — creating genuine
+//!   cross-node dependency edges whose notifications must traverse the
+//!   interconnect.
+//!
+//! With `remote_fraction = 0` the domains are fully independent (only worker
+//! capacity is shared); with `remote_fraction = 1` every task (where possible)
+//! carries a remote input edge, making the workload interconnect-bound on slow
+//! links.
+
+use crate::addr::ADDR_MASK_48;
+use crate::task::{TaskDescriptor, TaskParam};
+use crate::trace::{Trace, TraceBuilder};
+use nexus_sim::{SimDuration, SimRng};
+
+/// Address-space offset between consecutive node domains. Bit 28 is well above
+/// the low-20-bit window of the XOR distribution function (so intra-node
+/// distribution behaviour is unchanged) and well below the 48-bit address
+/// limit.
+pub const NODE_ADDR_STRIDE: u64 = 1 << 28;
+
+/// Interleaves per-node sub-traces into one node-partitioned cluster trace.
+///
+/// `subs[n]` becomes node `n`'s domain: its task addresses are shifted into a
+/// private address band, its tasks get `affinity(n)`, and barriers inside the
+/// sub-traces are dropped (the combined trace ends with a single global
+/// `taskwait`). With probability `remote_fraction` (deterministic in `seed`) a
+/// task also reads the most recently written address of the next node,
+/// creating a cross-node dependency edge.
+///
+/// # Panics
+/// Panics if `subs` is empty.
+pub fn partition(
+    name: impl Into<String>,
+    subs: Vec<Trace>,
+    remote_fraction: f64,
+    seed: u64,
+) -> Trace {
+    let nodes = subs.len();
+    assert!(nodes > 0, "need at least one node domain");
+    let remote_fraction = if remote_fraction.is_finite() {
+        remote_fraction.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+
+    let mut streams: Vec<std::collections::VecDeque<TaskDescriptor>> = subs
+        .into_iter()
+        .enumerate()
+        .map(|(node, sub)| {
+            let offset = node as u64 * NODE_ADDR_STRIDE;
+            sub.tasks()
+                .map(|t| {
+                    let mut t = t.clone();
+                    for p in &mut t.params {
+                        p.addr = (p.addr + offset) & ADDR_MASK_48;
+                    }
+                    t.affinity = Some(node as u32);
+                    t
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut rng = SimRng::new(seed ^ 0xD157_0000_0000_0001);
+    let mut last_written: Vec<Option<u64>> = vec![None; nodes];
+    let mut b = TraceBuilder::new(name);
+
+    while streams.iter().any(|s| !s.is_empty()) {
+        for node in 0..nodes {
+            let Some(mut task) = streams[node].pop_front() else {
+                continue;
+            };
+            // Halo read: couple this task to a neighbouring domain.
+            if nodes > 1 && rng.next_f64() < remote_fraction {
+                let donor = (node + 1) % nodes;
+                if let Some(addr) = last_written[donor] {
+                    if task.params.iter().all(|p| p.addr != addr) {
+                        task.params.push(TaskParam::input(addr));
+                    }
+                }
+            }
+            if let Some(w) = task.outputs().last() {
+                last_written[node] = Some(w.addr);
+            }
+            b.submit_with(|id| {
+                task.id = id;
+                task
+            });
+        }
+    }
+    b.taskwait();
+    b.finish()
+}
+
+/// A node-partitioned blocked sparse LU factorization: each node factorizes
+/// its own block matrix (per-node seed/scale as in
+/// [`super::sparselu::generate`]) with a `remote_fraction` halo coupling.
+pub fn sparselu(nodes: usize, remote_fraction: f64, seed: u64, scale: f64) -> Trace {
+    let subs = (0..nodes)
+        .map(|n| super::sparselu::generate(seed.wrapping_add(n as u64 * 7919), scale))
+        .collect();
+    partition(
+        dist_name("sparselu", nodes, remote_fraction),
+        subs,
+        remote_fraction,
+        seed,
+    )
+}
+
+/// A node-partitioned Gaussian elimination: each node eliminates its own
+/// `dim × dim` matrix with a `remote_fraction` halo coupling.
+pub fn gaussian(nodes: usize, remote_fraction: f64, dim: u32, seed: u64) -> Trace {
+    let subs = (0..nodes).map(|_| super::gaussian::generate(dim)).collect();
+    partition(
+        dist_name(&format!("gaussian-{dim}"), nodes, remote_fraction),
+        subs,
+        remote_fraction,
+        seed,
+    )
+}
+
+/// A node-partitioned macroblock wavefront: each node decodes its own
+/// `rows × cols` frame with a `remote_fraction` halo coupling.
+pub fn wavefront(
+    nodes: usize,
+    remote_fraction: f64,
+    rows: u64,
+    cols: u64,
+    task: SimDuration,
+    seed: u64,
+) -> Trace {
+    let subs = (0..nodes)
+        .map(|_| super::micro::wavefront(rows, cols, task))
+        .collect();
+    partition(
+        dist_name(&format!("wavefront-{rows}x{cols}"), nodes, remote_fraction),
+        subs,
+        remote_fraction,
+        seed,
+    )
+}
+
+fn dist_name(base: &str, nodes: usize, remote_fraction: f64) -> String {
+    format!(
+        "dist-{base}-{nodes}n-r{:.0}",
+        remote_fraction.clamp(0.0, 1.0) * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn band(addr: u64) -> u64 {
+        addr / NODE_ADDR_STRIDE
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let a = sparselu(4, 0.3, 11, 0.002);
+        let b = sparselu(4, 0.3, 11, 0.002);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.name, "dist-sparselu-4n-r30");
+    }
+
+    #[test]
+    fn domains_are_disjoint_without_halo_reads() {
+        let t = wavefront(3, 0.0, 4, 4, SimDuration::from_us(10), 1);
+        t.validate().unwrap();
+        assert_eq!(t.task_count(), 3 * 16);
+        for task in t.tasks() {
+            let node = task.affinity.expect("every task carries an affinity") as u64;
+            let home_band = band(task.params[0].addr);
+            for p in &task.params {
+                assert_eq!(band(p.addr), home_band, "{}: foreign address", task.id);
+            }
+            // Bands are consecutive per node.
+            assert_eq!(home_band - band_of_node_zero(&t), node);
+        }
+    }
+
+    fn band_of_node_zero(t: &Trace) -> u64 {
+        t.tasks()
+            .filter(|t| t.affinity == Some(0))
+            .map(|t| band(t.params[0].addr))
+            .next()
+            .unwrap()
+    }
+
+    #[test]
+    fn halo_reads_cross_node_bands() {
+        let local = wavefront(4, 0.0, 6, 6, SimDuration::from_us(10), 2);
+        let coupled = wavefront(4, 1.0, 6, 6, SimDuration::from_us(10), 2);
+        assert_eq!(local.task_count(), coupled.task_count());
+        let crossing = |t: &Trace| {
+            t.tasks()
+                .filter(|task| {
+                    let home = band(task.params[0].addr);
+                    task.params.iter().any(|p| band(p.addr) != home)
+                })
+                .count()
+        };
+        assert_eq!(crossing(&local), 0);
+        // With remote_fraction = 1 nearly every task carries a halo read (the
+        // very first round has no donor writes yet).
+        assert!(crossing(&coupled) > coupled.task_count() / 2);
+        coupled.validate().unwrap();
+    }
+
+    #[test]
+    fn single_node_partition_has_no_remote_edges() {
+        let t = gaussian(1, 1.0, 20, 3);
+        t.validate().unwrap();
+        for task in t.tasks() {
+            assert_eq!(task.affinity, Some(0));
+        }
+    }
+
+    #[test]
+    fn remote_fraction_is_monotone_in_halo_count() {
+        let count_extra = |r: f64| {
+            let t = sparselu(4, r, 5, 0.002);
+            t.tasks().filter(|t| t.num_params() > 3).count()
+        };
+        let none = count_extra(0.0);
+        let some = count_extra(0.3);
+        let all = count_extra(1.0);
+        assert_eq!(none, 0);
+        assert!(some > 0 && some < all, "{some} vs {all}");
+    }
+}

@@ -6,9 +6,9 @@ use crate::task::TaskDescriptor;
 use crate::trace::{Trace, TraceBuilder};
 use nexus_sim::SimDuration;
 
-/// The §IV-E comparison micro-benchmark: "a micro benchmark built after [19]
+/// The §IV-E comparison micro-benchmark: "a micro benchmark built after \[19\]
 /// that includes inserting 5 independent tasks, each with two parameters".
-/// Nexus# with one task graph handles it in 78 cycles (vs. 172 in [19]).
+/// Nexus# with one task graph handles it in 78 cycles (vs. 172 in \[19\]).
 pub fn five_independent_tasks() -> Trace {
     independent_tasks(5, 2, SimDuration::from_us(1))
 }

@@ -6,6 +6,7 @@
 //! benchmark harness regenerates identical tables on every run.
 
 pub mod cray;
+pub mod distributed;
 pub mod gaussian;
 pub mod h264dec;
 pub mod micro;

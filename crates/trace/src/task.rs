@@ -125,6 +125,11 @@ pub struct TaskDescriptor {
     pub params: Vec<TaskParam>,
     /// Execution time of the task body on a worker core (from the trace).
     pub duration: SimDuration,
+    /// Optional placement hint for the multi-node cluster simulation: the
+    /// preferred home node of the task. `None` lets the cluster driver route
+    /// by address (the XOR distribution function at cluster scope). Node
+    /// counts smaller than the hint wrap around (`hint % nodes`).
+    pub affinity: Option<u32>,
 }
 
 impl TaskDescriptor {
@@ -140,6 +145,7 @@ impl TaskDescriptor {
             function,
             params,
             duration,
+            affinity: None,
         }
     }
 
@@ -150,7 +156,16 @@ impl TaskDescriptor {
             function: FunctionId(0),
             params: Vec::new(),
             duration: SimDuration::ZERO,
+            affinity: None,
         }
+    }
+
+    /// The home node of the task in a cluster of `nodes` nodes, if the task
+    /// carries an affinity hint.
+    #[inline]
+    pub fn home_node(&self, nodes: usize) -> Option<usize> {
+        debug_assert!(nodes > 0);
+        self.affinity.map(|a| a as usize % nodes.max(1))
     }
 
     /// Number of parameters in the input/output list.
@@ -184,6 +199,7 @@ pub struct TaskBuilder {
     function: FunctionId,
     params: Vec<TaskParam>,
     duration: SimDuration,
+    affinity: Option<u32>,
 }
 
 impl TaskBuilder {
@@ -222,6 +238,12 @@ impl TaskBuilder {
         self.duration(SimDuration::from_us_f64(us))
     }
 
+    /// Sets the preferred home node for the cluster simulation.
+    pub fn affinity(mut self, node: u32) -> Self {
+        self.affinity = Some(node);
+        self
+    }
+
     /// Finalizes the descriptor.
     pub fn build(self) -> TaskDescriptor {
         TaskDescriptor {
@@ -229,6 +251,7 @@ impl TaskBuilder {
             function: self.function,
             params: self.params,
             duration: self.duration,
+            affinity: self.affinity,
         }
     }
 }
@@ -277,6 +300,18 @@ mod tests {
         assert_eq!(t.transfer_words(), 10);
         let one = TaskDescriptor::builder(1).inout(9).build();
         assert_eq!(one.transfer_words(), 4);
+    }
+
+    #[test]
+    fn affinity_hint_wraps_around_the_node_count() {
+        let t = TaskDescriptor::builder(0).inout(0x40).build();
+        assert_eq!(t.affinity, None);
+        assert_eq!(t.home_node(4), None);
+        let t = TaskDescriptor::builder(1).inout(0x40).affinity(6).build();
+        assert_eq!(t.affinity, Some(6));
+        assert_eq!(t.home_node(8), Some(6));
+        assert_eq!(t.home_node(4), Some(2));
+        assert_eq!(t.home_node(1), Some(0));
     }
 
     #[test]

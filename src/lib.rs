@@ -15,6 +15,7 @@
 //! | [`sharp`] | `nexus-core` | **Nexus#**, the distributed manager (§IV) |
 //! | [`nanos`] | `nexus-nanos` | the software runtime (Nanos) cost model |
 //! | [`host`] | `nexus-host` | the simulated multicore host / testbench (§V) |
+//! | [`cluster`] | `nexus-cluster` | multi-node cluster simulation with an interconnect model |
 //! | [`rt`] | `nexus-rt` | a real threaded runtime using the Nexus# algorithm |
 //!
 //! ## Quick example
@@ -37,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub use nexus_cluster as cluster;
 pub use nexus_core as sharp;
 pub use nexus_host as host;
 pub use nexus_nanos as nanos;
@@ -49,6 +51,7 @@ pub use nexus_trace as trace;
 
 /// Commonly used items from across the workspace.
 pub mod prelude {
+    pub use nexus_cluster::{simulate_cluster, ClusterConfig, ClusterOutcome, LinkConfig};
     pub use nexus_core::{NexusSharp, NexusSharpConfig};
     pub use nexus_host::{simulate, HostConfig, IdealManager, SimOutcome, TaskManager};
     pub use nexus_nanos::NanosRuntime;
