@@ -11,10 +11,14 @@
 //!
 //! Run with: `cargo bench -p nexus-bench --bench cluster_scalability`
 //! Environment: `NEXUS_BENCH_SCALE=<0..1>` (default 0.1), `NEXUS_FULL=1`,
-//! `NEXUS_LINK=rdma|ethernet|ideal` (default rdma).
+//! `NEXUS_LINK=rdma|ethernet|ideal` (default rdma),
+//! `NEXUS_POLICY=xorhash|affinity|locality` (default xorhash),
+//! `NEXUS_STEAL=off|steal` (default off). All knobs are case-insensitive.
 
 use nexus_bench::report::Table;
-use nexus_bench::runner::{bench_scale, cluster_link, cluster_node_counts};
+use nexus_bench::runner::{
+    bench_scale, cluster_link, cluster_node_counts, cluster_policy, cluster_steal,
+};
 use nexus_cluster::{remote_edge_fraction, simulate_cluster, ClusterConfig};
 use nexus_core::NexusSharp;
 use nexus_trace::generators::distributed;
@@ -24,9 +28,12 @@ fn main() {
     // scale small enough that the 8-node sweep stays quick.
     let scale = (bench_scale() * 0.02).clamp(0.001, 0.05);
     let link = cluster_link();
+    let placement = cluster_policy();
+    let stealing = cluster_steal();
     let workers_per_node = 8;
     println!(
-        "per-domain sparselu scale: {scale}, link: {link:?}, {workers_per_node} workers/node\n"
+        "per-domain sparselu scale: {scale}, link: {link:?}, placement: {placement}, \
+         stealing: {stealing}, {workers_per_node} workers/node\n"
     );
 
     for remote in [0.0, 0.1, 0.5, 1.0] {
@@ -49,7 +56,10 @@ fn main() {
         // directly comparable (affinity hints wrap modulo the node count).
         let trace = distributed::sparselu(8, remote, 42, scale);
         for &nodes in &cluster_node_counts() {
-            let cfg = ClusterConfig::new(nodes, workers_per_node).with_link(link);
+            let cfg = ClusterConfig::new(nodes, workers_per_node)
+                .with_link(link)
+                .with_placement(placement)
+                .with_stealing(stealing);
             let out = simulate_cluster(&trace, &cfg, |_| NexusSharp::paper(6));
             table.row(vec![
                 format!("{nodes}"),

@@ -1,0 +1,109 @@
+//! **Policy comparison** — placement policies × work stealing on the
+//! multi-node cluster.
+//!
+//! Two questions, two sweeps:
+//!
+//! 1. **Does stealing recover makespan on imbalanced work?** A deliberately
+//!    skewed partition (node 0 owns 6× the tasks of the last node, affinity
+//!    hints pin the imbalance) is run with stealing off and on. Idle nodes
+//!    pull eligible descriptors from the overloaded node's input queue,
+//!    paying the descriptor re-forwarding cost — the makespan should drop
+//!    toward the balanced bound while link words rise.
+//! 2. **Does locality-aware placement cut link traffic?** The same un-hinted
+//!    (affinity-stripped) sparselu partition is routed by every placement
+//!    policy. `locality` keeps producer→consumer chains on one node, so it
+//!    should move fewer notification words over the interconnect than the
+//!    address-hash `xorhash` baseline at equal node counts.
+//!
+//! Run with: `cargo bench -p nexus-bench --bench policy_comparison`
+//! Environment: `NEXUS_BENCH_SCALE=<0..1>` (default 0.1), `NEXUS_FULL=1`,
+//! `NEXUS_LINK=rdma|ethernet|ideal`, `NEXUS_POLICY=xorhash|affinity|locality`
+//! (placement used in the stealing sweep), `NEXUS_STEAL=off|steal`.
+//! All env knobs are case-insensitive and reject typos with the valid values.
+
+use nexus_bench::report::Table;
+use nexus_bench::runner::{bench_scale, cluster_link, cluster_policy};
+use nexus_cluster::{simulate_cluster, ClusterConfig, PolicyKind, StealKind};
+use nexus_core::NexusSharp;
+use nexus_sim::SimDuration;
+use nexus_trace::generators::distributed;
+
+fn main() {
+    let link = cluster_link();
+    let placement = cluster_policy();
+    let scale = bench_scale();
+    let workers_per_node = 8;
+    println!("link: {link:?}, stealing-sweep placement: {placement}, scale: {scale}\n");
+
+    // Part 1 — imbalanced domains: stealing recovers the makespan.
+    let base_tasks = ((scale * 1920.0) as u64).clamp(96, 1920);
+    for nodes in [2usize, 4, 8] {
+        let trace =
+            distributed::imbalanced(nodes, base_tasks, 6.0, SimDuration::from_us(50), 0.0, 42);
+        let mut table = Table::new(
+            format!(
+                "Work stealing — {} on {nodes} nodes, Nexus# 6TG per node",
+                trace.name
+            ),
+            &[
+                "stealing",
+                "makespan",
+                "speedup",
+                "steals",
+                "failed",
+                "link words",
+            ],
+        );
+        for stealing in StealKind::ALL {
+            let cfg = ClusterConfig::new(nodes, workers_per_node)
+                .with_link(link)
+                .with_placement(placement)
+                .with_stealing(stealing);
+            let out = simulate_cluster(&trace, &cfg, |_| NexusSharp::paper(6));
+            table.row(vec![
+                out.stealing.clone(),
+                format!("{}", out.makespan),
+                format!("{:.2}x", out.speedup()),
+                format!("{}", out.steals),
+                format!("{}", out.steal_failures),
+                format!("{}", out.link.words),
+            ]);
+        }
+        table.print();
+    }
+
+    // Part 2 — un-hinted placement: locality vs hash vs balance.
+    let lu_scale = (scale * 0.04).clamp(0.001, 0.05);
+    for nodes in [2usize, 4, 8] {
+        let trace = distributed::unhinted(&distributed::sparselu(nodes, 0.3, 42, lu_scale));
+        let mut table = Table::new(
+            format!(
+                "Placement — {} on {nodes} nodes, Nexus# 6TG per node",
+                trace.name
+            ),
+            &[
+                "placement",
+                "makespan",
+                "speedup",
+                "remote edges",
+                "notifications",
+                "link words",
+            ],
+        );
+        for placement in PolicyKind::ALL {
+            let cfg = ClusterConfig::new(nodes, workers_per_node)
+                .with_link(link)
+                .with_placement(placement);
+            let out = simulate_cluster(&trace, &cfg, |_| NexusSharp::paper(6));
+            table.row(vec![
+                out.placement.clone(),
+                format!("{}", out.makespan),
+                format!("{:.2}x", out.speedup()),
+                format!("{:.1}%", out.remote_edge_fraction() * 100.0),
+                format!("{}", out.notifications),
+                format!("{}", out.link.words),
+            ]);
+        }
+        table.print();
+    }
+}

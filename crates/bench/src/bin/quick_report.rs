@@ -14,8 +14,9 @@ use nexus_bench::managers::ManagerKind;
 use nexus_bench::paper::table4_row;
 use nexus_bench::report::{fmt_speedup, Table};
 use nexus_bench::runner::{bench_scale, cluster_link, curves_for};
-use nexus_cluster::{simulate_cluster, ClusterConfig};
+use nexus_cluster::{simulate_cluster, ClusterConfig, PolicyKind, StealKind};
 use nexus_core::NexusSharp;
+use nexus_sim::SimDuration;
 use nexus_trace::generators::distributed;
 use nexus_trace::Benchmark;
 use std::time::Instant;
@@ -70,6 +71,7 @@ fn main() {
     table.print();
 
     cluster_section();
+    policy_section();
 }
 
 /// A small cluster-scalability sample: a 4-domain partitioned sparselu under
@@ -93,6 +95,57 @@ fn cluster_section() {
                 format!("{}", out.notifications),
             ]);
         }
+    }
+    table.print();
+}
+
+/// A small policy comparison: work stealing on a skewed partition, and the
+/// three placement policies on an un-hinted partition (see the
+/// `policy_comparison` bench for the full sweep).
+fn policy_section() {
+    let link = cluster_link();
+    let mut table = Table::new(
+        "Quick policy run: 4 nodes, Nexus# 6TG per node, 8 workers/node",
+        &[
+            "trace",
+            "placement",
+            "stealing",
+            "makespan",
+            "steals",
+            "link words",
+        ],
+    );
+    // Skewed independent tasks: node 0 owns 6x the last node's work.
+    let skewed = distributed::imbalanced(4, 160, 6.0, SimDuration::from_us(50), 0.0, 42);
+    for stealing in StealKind::ALL {
+        let cfg = ClusterConfig::new(4, 8)
+            .with_link(link)
+            .with_stealing(stealing);
+        let out = simulate_cluster(&skewed, &cfg, |_| NexusSharp::paper(6));
+        table.row(vec![
+            skewed.name.clone(),
+            out.placement.clone(),
+            out.stealing.clone(),
+            format!("{}", out.makespan),
+            format!("{}", out.steals),
+            format!("{}", out.link.words),
+        ]);
+    }
+    // Un-hinted sparselu: placement policy decides everything.
+    let unhinted = distributed::unhinted(&distributed::sparselu(4, 0.3, 42, 0.002));
+    for placement in PolicyKind::ALL {
+        let cfg = ClusterConfig::new(4, 8)
+            .with_link(link)
+            .with_placement(placement);
+        let out = simulate_cluster(&unhinted, &cfg, |_| NexusSharp::paper(6));
+        table.row(vec![
+            unhinted.name.clone(),
+            out.placement.clone(),
+            out.stealing.clone(),
+            format!("{}", out.makespan),
+            format!("{}", out.steals),
+            format!("{}", out.link.words),
+        ]);
     }
     table.print();
 }

@@ -24,20 +24,51 @@ pub fn cluster_node_counts() -> Vec<usize> {
     vec![1, 2, 4, 8]
 }
 
+/// Aborts the bench with a clear message when an environment knob is set to
+/// something unparseable (listing the valid values is the parser's job).
+fn env_knob_error(var: &str, message: &str) -> ! {
+    eprintln!("error: {var}: {message}");
+    std::process::exit(2);
+}
+
 /// The interconnect used by the cluster benches: `NEXUS_LINK=rdma` (default),
-/// `ethernet` or `ideal`. Unrecognized values warn and fall back to `rdma`.
+/// `ethernet` or `ideal`, case-insensitively. Typos abort with the list of
+/// valid values.
 pub fn cluster_link() -> nexus_cluster::LinkConfig {
-    match std::env::var("NEXUS_LINK").as_deref() {
-        Ok("ethernet") => nexus_cluster::LinkConfig::ethernet(),
-        Ok("ideal") => nexus_cluster::LinkConfig::ideal(),
-        Ok("rdma") | Err(_) => nexus_cluster::LinkConfig::rdma(),
-        Ok(other) => {
-            eprintln!(
-                "warning: unknown NEXUS_LINK={other:?} (expected rdma|ethernet|ideal), using rdma"
-            );
-            nexus_cluster::LinkConfig::rdma()
-        }
+    let Ok(raw) = std::env::var("NEXUS_LINK") else {
+        return nexus_cluster::LinkConfig::rdma();
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "rdma" => nexus_cluster::LinkConfig::rdma(),
+        "ethernet" | "eth" => nexus_cluster::LinkConfig::ethernet(),
+        "ideal" => nexus_cluster::LinkConfig::ideal(),
+        other => env_knob_error(
+            "NEXUS_LINK",
+            &format!("unknown interconnect {other:?} (expected rdma|ethernet|ideal)"),
+        ),
     }
+}
+
+/// The placement policy used by the cluster benches: `NEXUS_POLICY=xorhash`
+/// (default), `affinity` or `locality`, case-insensitively. Typos abort with
+/// the list of valid values.
+pub fn cluster_policy() -> nexus_sched::PolicyKind {
+    let Ok(raw) = std::env::var("NEXUS_POLICY") else {
+        return nexus_sched::PolicyKind::default();
+    };
+    raw.parse()
+        .unwrap_or_else(|e: String| env_knob_error("NEXUS_POLICY", &e))
+}
+
+/// The work-stealing policy used by the cluster benches: `NEXUS_STEAL=off`
+/// (default) or `steal`, case-insensitively. Typos abort with the list of
+/// valid values.
+pub fn cluster_steal() -> nexus_sched::StealKind {
+    let Ok(raw) = std::env::var("NEXUS_STEAL") else {
+        return nexus_sched::StealKind::default();
+    };
+    raw.parse()
+        .unwrap_or_else(|e: String| env_knob_error("NEXUS_STEAL", &e))
 }
 
 /// The workload scale factor used by the benches: `NEXUS_FULL=1` forces 1.0,
@@ -103,6 +134,14 @@ mod tests {
         // path (no NEXUS_FULL / NEXUS_BENCH_SCALE set in CI).
         let s = bench_scale();
         assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn env_knob_defaults() {
+        // Unset knobs must fall back silently (CI never sets them).
+        assert_eq!(cluster_link(), nexus_cluster::LinkConfig::rdma());
+        assert_eq!(cluster_policy(), nexus_sched::PolicyKind::XorHash);
+        assert_eq!(cluster_steal(), nexus_sched::StealKind::Disabled);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Cluster and interconnect configuration.
 
+use nexus_sched::{PolicyKind, StealKind};
 use nexus_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,13 @@ pub struct ClusterConfig {
     pub workers_per_node: usize,
     /// Interconnect timing and topology.
     pub link: LinkConfig,
+    /// Task-to-node placement policy applied by the routing pre-pass. The
+    /// default, [`PolicyKind::XorHash`], is the affinity-then-XOR routing the
+    /// cluster driver shipped with.
+    pub placement: PolicyKind,
+    /// Work-stealing policy for idle nodes. Disabled by default (stolen
+    /// descriptors pay the re-forwarding cost over the interconnect).
+    pub stealing: StealKind,
     /// Safety limit on simulation events (guards against model bugs producing
     /// infinite event loops). The default of 10¹⁰ is ~25× what the largest
     /// full-size paper workload generates cluster-wide.
@@ -103,6 +111,8 @@ impl ClusterConfig {
             nodes,
             workers_per_node,
             link: LinkConfig::default(),
+            placement: PolicyKind::default(),
+            stealing: StealKind::default(),
             max_events: Self::DEFAULT_MAX_EVENTS,
         }
     }
@@ -110,6 +120,18 @@ impl ClusterConfig {
     /// Same cluster with a different interconnect.
     pub fn with_link(mut self, link: LinkConfig) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Same cluster with a different placement policy.
+    pub fn with_placement(mut self, placement: PolicyKind) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Same cluster with a different work-stealing policy.
+    pub fn with_stealing(mut self, stealing: StealKind) -> Self {
+        self.stealing = stealing;
         self
     }
 
@@ -135,5 +157,17 @@ mod tests {
         assert_eq!(cfg.link.latency, SimDuration::from_us(10));
         assert_eq!(LinkConfig::default(), LinkConfig::rdma());
         assert!(LinkConfig::ideal().latency.is_zero());
+    }
+
+    #[test]
+    fn policy_defaults_reproduce_the_original_routing() {
+        let cfg = ClusterConfig::new(2, 4);
+        assert_eq!(cfg.placement, PolicyKind::XorHash);
+        assert_eq!(cfg.stealing, StealKind::Disabled);
+        let cfg = cfg
+            .with_placement(PolicyKind::LocalityAware)
+            .with_stealing(StealKind::MostLoaded);
+        assert_eq!(cfg.placement, PolicyKind::LocalityAware);
+        assert!(cfg.stealing.is_enabled());
     }
 }

@@ -3,11 +3,13 @@
 //! [`ClusterDriver`] owns one task manager and one [`WorkerPool`] per node and
 //! replays a trace on the whole cluster:
 //!
-//! * the **master** (on node 0) streams trace operations in program order;
-//!   each submitted task is routed to its home node (affinity hint, falling
-//!   back to the XOR distribution function at cluster scope) and its
-//!   descriptor is forwarded over the interconnect (`transfer_words()` words,
-//!   as over PCIe in the single-chip design);
+//! * the **master** (on node 0) streams trace operations in program order
+//!   (the [`MasterSm`] state machine shared with the single-node host driver);
+//!   each submitted task is routed to its home node by the configured
+//!   [`PlacementPolicy`](nexus_sched::PlacementPolicy) (affinity hint +
+//!   XOR distribution function by default) and its descriptor is forwarded
+//!   over the interconnect (`transfer_words()` words, as over PCIe in the
+//!   single-chip design);
 //! * each node's **input processor** hands arrived descriptors to the local
 //!   manager strictly in arrival order (the links are FIFO, so this is
 //!   per-node program order — local dependency semantics are preserved by the
@@ -17,38 +19,46 @@
 //!   node's pending queue until the producer's retirement notification
 //!   ([`NOTIFY_WORDS`] words) has crossed the interconnect;
 //! * every retirement is also forwarded to the master, which implements
-//!   `taskwait` / `taskwait on` over the cluster-wide retirement count.
+//!   `taskwait` / `taskwait on` over the cluster-wide retirement count;
+//! * with a [`StealPolicy`] enabled, an **idle
+//!   node** (free workers, empty ready queue, empty input queue) pulls
+//!   pending descriptors from a loaded neighbour: a request message crosses
+//!   the interconnect, the victim hands over its youngest *eligible*
+//!   descriptors (all last-writer producers retired, so the task can run
+//!   anywhere), and each stolen descriptor pays the full re-forwarding cost
+//!   on the victim→thief link. Consumers that would have resolved the stolen
+//!   task's dependence node-locally are re-subscribed to a cross-node
+//!   retirement notification, so dependence enforcement is preserved.
 //!
 //! Cross-node anti-dependencies (a remote writer overtaking a remote reader)
 //! are intentionally *not* ordered: as in distributed task-based runtimes
 //! (DuctTeip's versioned data, the distributed runtime of Bosch et al.), each
 //! node works on its own copy of remote data, so write-after-read hazards are
-//! resolved by renaming rather than by synchronization.
+//! resolved by renaming rather than by synchronization. (For the same reason
+//! a stolen task that shares addresses with unrelated tasks at the thief may
+//! pick up a conservative manager-level ordering there — never a lost
+//! dependence.)
 
 use crate::config::ClusterConfig;
 use crate::interconnect::Interconnect;
 use crate::outcome::{ClusterOutcome, LinkStats};
 use crate::routing::DepScanner;
 use nexus_host::manager::{ManagerEvent, TaskManager};
+use nexus_host::master::{MasterSm, MasterStep};
 use nexus_host::metrics::SimOutcome;
 use nexus_host::pool::WorkerPool;
+use nexus_sched::{NodeLoad, StealPolicy};
 use nexus_sim::{EventQueue, SimDuration, SimTime};
-use nexus_trace::{TaskDescriptor, TaskId, Trace, TraceOp};
-use std::collections::{HashMap, HashSet, VecDeque};
+use nexus_trace::{TaskDescriptor, TaskId, Trace};
+use std::collections::{HashMap, VecDeque};
 
 /// Words on the wire for a retirement / dependency notification (message tag
 /// plus task id).
 pub const NOTIFY_WORDS: u64 = 2;
 
-/// What the cluster master is currently doing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MasterState {
-    Running,
-    /// Waiting for all tasks (`None`) or one task (`Some`) to retire,
-    /// as seen from the master.
-    WaitingBarrier(Option<TaskId>),
-    Done,
-}
+/// Words on the wire for a steal request or its empty-handed reply (message
+/// tag plus node id).
+pub const STEAL_WORDS: u64 = 2;
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -70,17 +80,29 @@ enum Event {
     Retired { node: usize, task: TaskId },
     /// A retirement notification reaches the master.
     MasterSawRetire { task: TaskId },
+    /// An idle node's steal request reaches its victim.
+    StealRequest { thief: usize, victim: usize },
+    /// A stolen descriptor reaches the thief's input queue.
+    StolenArrive { node: usize, idx: usize },
+    /// The victim's empty-handed steal reply reaches the thief.
+    StealFailed { thief: usize },
 }
 
 /// Per-task routing and cross-node dependency bookkeeping.
 struct TaskMeta {
+    /// The task's current home node (placement decision, updated on steal).
     home: usize,
+    /// Indices (into submission order) of *all* distinct last-writer
+    /// producers.
+    producers: Vec<usize>,
     /// Indices (into submission order) of remote last-writer producers.
     remote_producers: Vec<usize>,
-    /// Remote producers whose retirement notification has not yet arrived.
+    /// Tasks (by index) that have this task as a last-writer producer.
+    consumers: Vec<usize>,
+    /// Producer retirement notifications this task still waits for.
     remaining_remote: usize,
-    /// When the task retired on its home node (if it has).
-    retired_at_home: Option<SimTime>,
+    /// When the task retired (if it has).
+    retired_at: Option<SimTime>,
     /// Consumers (by index) waiting for this producer's retirement.
     subscribers: Vec<usize>,
 }
@@ -102,6 +124,14 @@ struct NodeState<M> {
     last_accounting: SimTime,
     makespan: SimTime,
     max_pending: usize,
+    /// A steal request is in flight from this node (unresolved at the victim).
+    steal_inflight: bool,
+    /// Stolen descriptors granted to this node and still crossing the link.
+    /// The node does not issue further requests until the whole batch landed.
+    incoming_steals: usize,
+    /// Last time a steal attempt came back empty-handed (suppresses immediate
+    /// same-timestamp retries, which would loop forever on ideal links).
+    last_steal_fail: Option<SimTime>,
 }
 
 impl<M> NodeState<M> {
@@ -121,6 +151,8 @@ pub struct ClusterDriver<M> {
     cfg: ClusterConfig,
     nodes: Vec<NodeState<M>>,
     net: Interconnect,
+    steals: u64,
+    steal_failures: u64,
 }
 
 impl<M: TaskManager> ClusterDriver<M> {
@@ -149,12 +181,17 @@ impl<M: TaskManager> ClusterDriver<M> {
                 last_accounting: SimTime::ZERO,
                 makespan: SimTime::ZERO,
                 max_pending: 0,
+                steal_inflight: false,
+                incoming_steals: 0,
+                last_steal_fail: None,
             })
             .collect();
         ClusterDriver {
             cfg: *cfg,
             nodes,
             net: Interconnect::new(cfg.nodes, &cfg.link),
+            steals: 0,
+            steal_failures: 0,
         }
     }
 
@@ -167,18 +204,12 @@ impl<M: TaskManager> ClusterDriver<M> {
         let durations: HashMap<TaskId, SimDuration> =
             tasks.iter().map(|t| (t.id, t.duration)).collect();
         let (mut metas, edges) = self.analyze(&tasks);
-        for (i, t) in tasks.iter().enumerate() {
-            self.nodes[metas[i].home].total_work += t.duration;
-        }
 
         let mut queue: EventQueue<Event> = EventQueue::new();
-        let mut master = MasterState::Running;
-        let mut op_idx = 0usize;
-        let mut submitted: u64 = 0;
-        let mut master_retired: HashSet<TaskId> = HashSet::new();
-        let mut master_last_writer: HashMap<u64, TaskId> = HashMap::new();
-        let mut master_barrier_since: Option<SimTime> = None;
-        let mut master_barrier_time = SimDuration::ZERO;
+        let mut master = MasterSm::new();
+        let mut steal_policy: Box<dyn StealPolicy> = self.cfg.stealing.build();
+        let steal_enabled = self.cfg.stealing.is_enabled();
+        let supports_taskwait_on = self.nodes[0].manager.supports_taskwait_on();
         let mut notifications: u64 = 0;
         let mut makespan = SimTime::ZERO;
         let mut events_processed: u64 = 0;
@@ -198,21 +229,11 @@ impl<M: TaskManager> ClusterDriver<M> {
 
             match ev.payload {
                 Event::MasterStep => {
-                    if master == MasterState::Done {
-                        continue;
-                    }
-                    master = MasterState::Running;
-                    match trace.ops.get(op_idx) {
-                        None => {
-                            master = MasterState::Done;
-                        }
-                        Some(TraceOp::Submit(task)) => {
+                    match master.step(trace, now, supports_taskwait_on) {
+                        MasterStep::Submit(task) => {
                             let idx = idx_of[&task.id];
                             let home = metas[idx].home;
-                            submitted += 1;
-                            for p in task.outputs() {
-                                master_last_writer.insert(p.addr, task.id);
-                            }
+                            master.commit_submit(task, now);
                             // Forward the descriptor to its home node.
                             let d = self.net.send(0, home, task.transfer_words(), now);
                             queue
@@ -221,7 +242,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                             // dependency notifications the task needs.
                             let producers = metas[idx].remote_producers.clone();
                             for p in producers {
-                                match metas[p].retired_at_home {
+                                match metas[p].retired_at {
                                     Some(_) => {
                                         let ph = metas[p].home;
                                         let d = self.net.send(ph, home, NOTIFY_WORDS, now);
@@ -231,41 +252,15 @@ impl<M: TaskManager> ClusterDriver<M> {
                                     None => metas[p].subscribers.push(idx),
                                 }
                             }
-                            op_idx += 1;
                             queue.schedule(d.sender_free.max(now), Event::MasterStep);
                         }
-                        Some(TraceOp::Taskwait) => {
-                            if master_retired.len() as u64 == submitted {
-                                op_idx += 1;
-                                queue.schedule(now, Event::MasterStep);
-                            } else {
-                                master = MasterState::WaitingBarrier(None);
-                                master_barrier_since.get_or_insert(now);
-                            }
+                        MasterStep::Compute(d) => {
+                            queue.schedule(now + d, Event::MasterStep);
                         }
-                        Some(TraceOp::TaskwaitOn(addr)) => {
-                            let supported = self.nodes[0].manager.supports_taskwait_on();
-                            let target = if supported {
-                                master_last_writer.get(addr).copied()
-                            } else {
-                                None // escalate to a full taskwait
-                            };
-                            let satisfied = match target {
-                                Some(t) => master_retired.contains(&t),
-                                None => supported || master_retired.len() as u64 == submitted,
-                            };
-                            if satisfied {
-                                op_idx += 1;
-                                queue.schedule(now, Event::MasterStep);
-                            } else {
-                                master = MasterState::WaitingBarrier(target);
-                                master_barrier_since.get_or_insert(now);
-                            }
+                        MasterStep::Continue => {
+                            queue.schedule(now, Event::MasterStep);
                         }
-                        Some(TraceOp::MasterCompute(d)) => {
-                            op_idx += 1;
-                            queue.schedule(now + *d, Event::MasterStep);
-                        }
+                        MasterStep::Waiting | MasterStep::Done => {}
                     }
                 }
 
@@ -319,8 +314,9 @@ impl<M: TaskManager> ClusterDriver<M> {
                     n.touch(now);
                     n.retired += 1;
                     n.outstanding -= 1;
+                    n.total_work += durations[&task];
                     let idx = idx_of[&task];
-                    metas[idx].retired_at_home = Some(now);
+                    metas[idx].retired_at = Some(now);
                     // Forward the retirement to every subscribed consumer…
                     for sub in std::mem::take(&mut metas[idx].subscribers) {
                         let d = self.net.send(node, metas[sub].home, NOTIFY_WORDS, now);
@@ -335,27 +331,48 @@ impl<M: TaskManager> ClusterDriver<M> {
                 }
 
                 Event::MasterSawRetire { task } => {
-                    master_retired.insert(task);
-                    if let MasterState::WaitingBarrier(target) = master {
-                        let satisfied = match target {
-                            Some(t) => master_retired.contains(&t),
-                            None => master_retired.len() as u64 == submitted,
-                        };
-                        if satisfied {
-                            if let Some(since) = master_barrier_since.take() {
-                                master_barrier_time += now.since(since);
-                            }
-                            master = MasterState::Running;
-                            queue.schedule(now, Event::MasterStep);
-                        }
+                    if master.on_retired(task, now) {
+                        queue.schedule(now, Event::MasterStep);
                     }
                 }
+
+                Event::StealRequest { thief, victim } => {
+                    self.grant_steal(
+                        thief,
+                        victim,
+                        now,
+                        steal_policy.as_ref(),
+                        &mut metas,
+                        &tasks,
+                        &mut queue,
+                    );
+                }
+
+                Event::StolenArrive { node, idx } => {
+                    let n = &mut self.nodes[node];
+                    n.incoming_steals = n.incoming_steals.saturating_sub(1);
+                    n.touch(now);
+                    n.outstanding += 1;
+                    n.pending.push_back(idx);
+                    n.max_pending = n.max_pending.max(n.pending.len());
+                    self.pump(node, now, &metas, &tasks, &mut queue);
+                }
+
+                Event::StealFailed { thief } => {
+                    let n = &mut self.nodes[thief];
+                    n.steal_inflight = false;
+                    n.last_steal_fail = Some(now);
+                    n.touch(now);
+                }
+            }
+
+            if steal_enabled {
+                self.try_steals(now, &metas, steal_policy.as_mut(), &mut queue);
             }
         }
 
-        assert_eq!(
-            master,
-            MasterState::Done,
+        assert!(
+            master.is_done(),
             "cluster master never finished the trace ({}; deadlock?)",
             trace.name
         );
@@ -398,15 +415,19 @@ impl<M: TaskManager> ClusterDriver<M> {
         ClusterOutcome {
             benchmark: trace.name.clone(),
             manager: self.nodes[0].manager.name(),
+            placement: self.cfg.placement.name().to_string(),
+            stealing: self.cfg.stealing.name().to_string(),
             nodes: self.cfg.nodes,
             workers_per_node: self.cfg.workers_per_node,
             makespan: makespan.since(SimTime::ZERO),
             total_work: trace.total_work(),
             tasks: executed,
-            master_barrier_time,
+            master_barrier_time: master.barrier_time(),
             per_node,
             edges,
             notifications,
+            steals: self.steals,
+            steal_failures: self.steal_failures,
             link,
             max_pending_depth,
         }
@@ -416,19 +437,156 @@ impl<M: TaskManager> ClusterDriver<M> {
     /// same pass that accumulates the edge census (one [`DepScanner`] scan —
     /// the reported statistics and the enforced dependencies cannot diverge).
     fn analyze(&self, tasks: &[&TaskDescriptor]) -> (Vec<TaskMeta>, crate::routing::EdgeStats) {
-        let mut scanner = DepScanner::new(self.cfg.nodes);
+        let mut scanner = DepScanner::with_policy(self.cfg.nodes, self.cfg.placement.build());
         let mut metas: Vec<TaskMeta> = Vec::with_capacity(tasks.len());
         for task in tasks {
-            let (home, remote_producers) = scanner.scan(task);
+            let i = metas.len();
+            let r = scanner.scan_full(task);
+            for &p in &r.producers {
+                metas[p].consumers.push(i);
+            }
             metas.push(TaskMeta {
-                home,
-                remaining_remote: remote_producers.len(),
-                remote_producers,
-                retired_at_home: None,
+                home: r.home,
+                remaining_remote: r.remote_producers.len(),
+                producers: r.producers,
+                remote_producers: r.remote_producers,
+                consumers: Vec::new(),
+                retired_at: None,
                 subscribers: Vec::new(),
             });
         }
         (metas, scanner.stats())
+    }
+
+    /// True if the descriptor at `idx` may be stolen: every last-writer
+    /// producer has retired and no notification is still in flight, so the
+    /// task can execute on any node without waiting on anything.
+    fn eligible(metas: &[TaskMeta], idx: usize) -> bool {
+        metas[idx].remaining_remote == 0
+            && metas[idx]
+                .producers
+                .iter()
+                .all(|&p| metas[p].retired_at.is_some())
+    }
+
+    /// True if `node` may initiate a steal right now: free workers, nothing
+    /// ready, nothing pending, no request or granted batch still in flight,
+    /// and no failed attempt at this very timestamp.
+    fn may_steal(n: &NodeState<M>, now: SimTime) -> bool {
+        !n.steal_inflight
+            && n.incoming_steals == 0
+            && n.last_steal_fail != Some(now)
+            && n.pool.free() > 0
+            && n.pool.queued() == 0
+            && n.pending.is_empty()
+    }
+
+    /// Initiates steal requests from every idle node (see
+    /// [`ClusterDriver::may_steal`]). Runs after each event while stealing is
+    /// enabled; the load snapshot (with its per-descriptor eligibility scan)
+    /// is only built when some node actually qualifies.
+    fn try_steals(
+        &mut self,
+        now: SimTime,
+        metas: &[TaskMeta],
+        policy: &mut dyn StealPolicy,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if !self.nodes.iter().any(|n| Self::may_steal(n, now)) {
+            return;
+        }
+        let loads: Vec<NodeLoad> = self
+            .nodes
+            .iter()
+            .map(|n| NodeLoad {
+                pending: n.pending.len(),
+                stealable: n
+                    .pending
+                    .iter()
+                    .filter(|&&i| Self::eligible(metas, i))
+                    .count(),
+                ready: n.pool.queued(),
+                free_workers: n.pool.free(),
+                outstanding: n.outstanding,
+            })
+            .collect();
+        for thief in 0..self.nodes.len() {
+            if !Self::may_steal(&self.nodes[thief], now) {
+                continue;
+            }
+            let Some(victim) = policy.choose_victim(thief, &loads) else {
+                continue;
+            };
+            assert!(
+                victim != thief && victim < self.nodes.len(),
+                "steal policy {} picked victim {victim} for thief {thief}",
+                policy.name()
+            );
+            self.nodes[thief].steal_inflight = true;
+            let d = self.net.send(thief, victim, STEAL_WORDS, now);
+            queue.schedule(d.delivered, Event::StealRequest { thief, victim });
+        }
+    }
+
+    /// Handles a steal request arriving at `victim`: hand over up to a batch
+    /// of the youngest eligible pending descriptors (re-homing their
+    /// dependence notifications), or send an empty-handed reply.
+    #[allow(clippy::too_many_arguments)]
+    fn grant_steal(
+        &mut self,
+        thief: usize,
+        victim: usize,
+        now: SimTime,
+        policy: &dyn StealPolicy,
+        metas: &mut [TaskMeta],
+        tasks: &[&TaskDescriptor],
+        queue: &mut EventQueue<Event>,
+    ) {
+        self.nodes[victim].touch(now);
+        let batch = policy.batch(self.nodes[thief].pool.free());
+        // Positions of the youngest eligible descriptors, collected from the
+        // back of the queue (descending, so removal is position-stable).
+        let positions: Vec<usize> = {
+            let pending = &self.nodes[victim].pending;
+            (0..pending.len())
+                .rev()
+                .filter(|&pos| Self::eligible(metas, pending[pos]))
+                .take(batch)
+                .collect()
+        };
+        if positions.is_empty() {
+            self.steal_failures += 1;
+            let d = self.net.send(victim, thief, STEAL_WORDS, now);
+            queue.schedule(d.delivered, Event::StealFailed { thief });
+            return;
+        }
+        // The request is resolved; the thief stays quiet until every granted
+        // descriptor has landed (it has no capacity for more anyway).
+        self.nodes[thief].steal_inflight = false;
+        self.nodes[thief].incoming_steals += positions.len();
+        for pos in positions {
+            let idx = self.nodes[victim]
+                .pending
+                .remove(pos)
+                .expect("steal position in range");
+            self.nodes[victim].outstanding -= 1;
+            debug_assert_eq!(metas[idx].home, victim, "stolen task must be at home");
+            // Consumers that counted on resolving this dependence inside the
+            // victim's manager now need a cross-node retirement notification.
+            let consumers = metas[idx].consumers.clone();
+            for c in consumers {
+                if metas[c].home == victim && !metas[idx].subscribers.contains(&c) {
+                    metas[c].remaining_remote += 1;
+                    metas[idx].subscribers.push(c);
+                }
+            }
+            metas[idx].home = thief;
+            self.steals += 1;
+            let d = self
+                .net
+                .send(victim, thief, tasks[idx].transfer_words(), now);
+            queue.schedule(d.delivered, Event::StolenArrive { node: thief, idx });
+        }
     }
 
     /// Hands pending tasks at `node` to the local manager: strictly in arrival
@@ -526,10 +684,19 @@ mod tests {
     use super::*;
     use crate::config::LinkConfig;
     use nexus_host::IdealManager;
+    use nexus_sched::{PolicyKind, StealKind};
     use nexus_trace::generators::{distributed, micro};
 
     fn us(v: u64) -> SimDuration {
         SimDuration::from_us(v)
+    }
+
+    /// A Nexus# manager with a small task pool, so overloaded nodes actually
+    /// back-pressure and build the pending backlog stealing feeds on.
+    fn tight_sharp() -> nexus_core::NexusSharp {
+        let mut cfg = nexus_core::NexusSharpConfig::paper(6);
+        cfg.task_pool_capacity = 16;
+        nexus_core::NexusSharp::new(cfg)
     }
 
     #[test]
@@ -625,6 +792,75 @@ mod tests {
         assert_eq!(a.notifications, b.notifications);
         assert_eq!(a.link.words, b.link.words);
         assert_eq!(a.node_tasks(), b.node_tasks());
+    }
+
+    #[test]
+    fn stealing_drains_an_imbalanced_trace_onto_idle_nodes() {
+        // Node 0 owns 6x the work of node 3; without stealing the makespan is
+        // pinned to node 0's backlog.
+        let trace = distributed::imbalanced(4, 48, 6.0, us(50), 0.0, 5);
+        let cfg = ClusterConfig::new(4, 2).with_link(LinkConfig::rdma());
+        let frozen = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+        let stolen = simulate_cluster(&trace, &cfg.with_stealing(StealKind::MostLoaded), |_| {
+            tight_sharp()
+        });
+        assert_eq!(frozen.steals, 0);
+        assert!(stolen.steals > 0, "stealing must actually happen");
+        assert!(
+            stolen.makespan < frozen.makespan,
+            "stealing must improve the makespan: {} vs {}",
+            stolen.makespan,
+            frozen.makespan
+        );
+        assert_eq!(frozen.tasks, stolen.tasks);
+        // Every stolen descriptor paid the wire.
+        assert!(stolen.link.words > frozen.link.words);
+    }
+
+    #[test]
+    fn stealing_preserves_cross_node_dependences() {
+        // A producer chain on node 0 with consumers that must not run early:
+        // steal-eligibility (all producers retired) plus re-subscription keep
+        // the dependences intact. The chain forces sequential execution, so
+        // the makespan lower bound is the chain length regardless of theft.
+        let mut b = nexus_trace::trace::TraceBuilder::new("steal-chain");
+        for i in 0..24u64 {
+            b.submit_with(|id| {
+                TaskDescriptor::builder(id.0)
+                    .inout(0x100 + (i / 8) * 0x40) // three 8-long chains
+                    .duration(us(20))
+                    .affinity(0)
+                    .build()
+            });
+        }
+        b.taskwait();
+        let trace = b.finish();
+        let cfg = ClusterConfig::new(2, 1)
+            .with_link(LinkConfig::rdma())
+            .with_stealing(StealKind::MostLoaded);
+        let out = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+        assert_eq!(out.tasks, 24);
+        // Three independent chains of 8 tasks × 20 us: nothing may finish
+        // before 160 us however the tasks are distributed.
+        assert!(out.makespan >= us(160), "{}", out.makespan);
+    }
+
+    #[test]
+    fn policies_and_stealing_stay_deterministic() {
+        let trace = distributed::unhinted(&distributed::sparselu(4, 0.4, 7, 0.002));
+        for placement in PolicyKind::ALL {
+            for stealing in StealKind::ALL {
+                let cfg = ClusterConfig::new(4, 4)
+                    .with_placement(placement)
+                    .with_stealing(stealing);
+                let a = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+                let b = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+                assert_eq!(a.makespan, b.makespan, "{placement}/{stealing}");
+                assert_eq!(a.steals, b.steals, "{placement}/{stealing}");
+                assert_eq!(a.link.words, b.link.words, "{placement}/{stealing}");
+                assert_eq!(a.node_tasks(), b.node_tasks(), "{placement}/{stealing}");
+            }
+        }
     }
 
     #[test]

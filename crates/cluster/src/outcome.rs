@@ -29,6 +29,10 @@ pub struct ClusterOutcome {
     pub benchmark: String,
     /// Name of the per-node task manager.
     pub manager: String,
+    /// Name of the placement policy that routed the tasks.
+    pub placement: String,
+    /// Name of the work-stealing policy (`"off"` when disabled).
+    pub stealing: String,
     /// Number of nodes simulated.
     pub nodes: usize,
     /// Worker cores per node.
@@ -48,6 +52,10 @@ pub struct ClusterOutcome {
     pub edges: EdgeStats,
     /// Cross-node dependency notifications forwarded over the interconnect.
     pub notifications: u64,
+    /// Descriptors stolen by idle nodes (re-forwarded over the interconnect).
+    pub steals: u64,
+    /// Steal requests that found no eligible descriptor at the victim.
+    pub steal_failures: u64,
     /// Interconnect traffic summary.
     pub link: LinkStats,
     /// Deepest per-node backlog of tasks waiting for remote dependencies or
@@ -115,6 +123,8 @@ mod tests {
         ClusterOutcome {
             benchmark: "unit".into(),
             manager: "test".into(),
+            placement: "xorhash".into(),
+            stealing: "off".into(),
             nodes: 2,
             workers_per_node: 4,
             makespan: SimDuration::from_us(makespan_us),
@@ -127,6 +137,8 @@ mod tests {
                 remote: 3,
             },
             notifications: 3,
+            steals: 0,
+            steal_failures: 0,
             link: LinkStats {
                 messages: 3,
                 words: 6,

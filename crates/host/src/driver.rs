@@ -6,11 +6,12 @@
 //! the manager under test decides *when* tasks become ready and retired.
 
 use crate::manager::{ManagerEvent, TaskManager};
+use crate::master::{MasterSm, MasterStep};
 use crate::metrics::SimOutcome;
 use crate::pool::WorkerPool;
 use nexus_sim::{EventQueue, SimDuration, SimTime};
-use nexus_trace::{TaskDescriptor, TaskId, Trace, TraceOp};
-use std::collections::{HashMap, HashSet};
+use nexus_trace::{TaskDescriptor, TaskId, Trace};
+use std::collections::HashMap;
 
 /// Host machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,20 +40,6 @@ impl Default for HostConfig {
     }
 }
 
-/// What the master thread is currently doing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MasterState {
-    /// Executing trace operations (a `MasterStep` event is pending).
-    Running,
-    /// Waiting for every submitted task to retire (`taskwait`), or for a
-    /// specific task to retire (`taskwait on`).
-    WaitingBarrier(Option<TaskId>),
-    /// Waiting for the manager to accept a new submission (task pool full).
-    WaitingCapacity,
-    /// Trace fully processed.
-    Done,
-}
-
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// The master attempts to execute its next trace operation.
@@ -76,20 +63,12 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut pool = WorkerPool::new(cfg.workers);
-    let mut master = MasterState::Running;
-    let mut op_idx = 0usize;
-    let mut submitted: u64 = 0;
-    let mut retired: HashSet<TaskId> = HashSet::new();
+    let mut master = MasterSm::new();
     let mut executed: u64 = 0;
-    let mut last_writer: HashMap<u64, TaskId> = HashMap::new();
     let mut makespan = SimTime::ZERO;
     let mut events_processed: u64 = 0;
 
     // Diagnostics.
-    let mut master_barrier_since: Option<SimTime> = None;
-    let mut master_backpressure_since: Option<SimTime> = None;
-    let mut master_barrier_time = SimDuration::ZERO;
-    let mut master_backpressure_time = SimDuration::ZERO;
     let mut idle_worker_area = SimDuration::ZERO; // worker·time with tasks outstanding
     let mut last_accounting = SimTime::ZERO;
     let mut outstanding_tasks: u64 = 0;
@@ -133,68 +112,26 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
 
         match ev.payload {
             Event::MasterStep => {
-                if master == MasterState::Done {
-                    continue;
-                }
-                master = MasterState::Running;
                 // Execute exactly one trace operation (or block).
-                match trace.ops.get(op_idx) {
-                    None => {
-                        master = MasterState::Done;
-                    }
-                    Some(TraceOp::Submit(task)) => {
+                match master.step(trace, now, manager.supports_taskwait_on()) {
+                    MasterStep::Submit(task) => {
                         if !manager.can_accept(now) {
-                            master = MasterState::WaitingCapacity;
-                            master_backpressure_since.get_or_insert(now);
+                            master.block_on_capacity(now);
                             continue;
-                        }
-                        if let Some(since) = master_backpressure_since.take() {
-                            master_backpressure_time += now.since(since);
                         }
                         let release = manager.submit(task, now);
                         drain_manager!(now);
-                        submitted += 1;
+                        master.commit_submit(task, now);
                         outstanding_tasks += 1;
-                        for p in task.outputs() {
-                            last_writer.insert(p.addr, task.id);
-                        }
-                        op_idx += 1;
                         queue.schedule(release.max(now), Event::MasterStep);
                     }
-                    Some(TraceOp::Taskwait) => {
-                        if retired.len() as u64 == submitted {
-                            op_idx += 1;
-                            queue.schedule(now, Event::MasterStep);
-                        } else {
-                            master = MasterState::WaitingBarrier(None);
-                            master_barrier_since.get_or_insert(now);
-                        }
+                    MasterStep::Compute(d) => {
+                        queue.schedule(now + d, Event::MasterStep);
                     }
-                    Some(TraceOp::TaskwaitOn(addr)) => {
-                        let target = if manager.supports_taskwait_on() {
-                            last_writer.get(addr).copied()
-                        } else {
-                            // Escalate to a full taskwait (Nexus++ behaviour).
-                            None
-                        };
-                        let satisfied = match target {
-                            Some(t) => retired.contains(&t),
-                            None => {
-                                manager.supports_taskwait_on() || retired.len() as u64 == submitted
-                            }
-                        };
-                        if satisfied {
-                            op_idx += 1;
-                            queue.schedule(now, Event::MasterStep);
-                        } else {
-                            master = MasterState::WaitingBarrier(target);
-                            master_barrier_since.get_or_insert(now);
-                        }
+                    MasterStep::Continue => {
+                        queue.schedule(now, Event::MasterStep);
                     }
-                    Some(TraceOp::MasterCompute(d)) => {
-                        op_idx += 1;
-                        queue.schedule(now + *d, Event::MasterStep);
-                    }
+                    MasterStep::Waiting | MasterStep::Done => {}
                 }
             }
 
@@ -227,35 +164,16 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
             }
 
             Event::RetiredVisible(task) => {
-                retired.insert(task);
                 outstanding_tasks -= 1;
-                match master {
-                    MasterState::WaitingCapacity => {
-                        master = MasterState::Running;
-                        queue.schedule(now, Event::MasterStep);
-                    }
-                    MasterState::WaitingBarrier(target) => {
-                        let satisfied = match target {
-                            Some(t) => retired.contains(&t),
-                            None => retired.len() as u64 == submitted,
-                        };
-                        if satisfied {
-                            if let Some(since) = master_barrier_since.take() {
-                                master_barrier_time += now.since(since);
-                            }
-                            master = MasterState::Running;
-                            queue.schedule(now, Event::MasterStep);
-                        }
-                    }
-                    _ => {}
+                if master.on_retired(task, now) {
+                    queue.schedule(now, Event::MasterStep);
                 }
             }
         }
     }
 
-    assert_eq!(
-        master,
-        MasterState::Done,
+    assert!(
+        master.is_done(),
         "master never finished the trace ({}/{}; deadlock?)",
         trace.name,
         manager.name()
@@ -268,7 +186,7 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
         manager.name()
     );
     assert_eq!(
-        retired.len(),
+        master.retired_count() as usize,
         tasks.len(),
         "not all tasks retired ({}/{})",
         trace.name,
@@ -282,8 +200,8 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
         makespan: makespan.since(SimTime::ZERO),
         total_work: trace.total_work(),
         tasks: executed,
-        master_barrier_time,
-        master_backpressure_time,
+        master_barrier_time: master.barrier_time(),
+        master_backpressure_time: master.backpressure_time(),
         worker_idle_time: idle_worker_area,
         manager_stats: manager.stats_summary(),
     }

@@ -19,6 +19,9 @@
 //! * [`SimOutcome`] — makespan, speedup and diagnostic counters,
 //! * [`WorkerPool`] — the per-node ready-queue / free-worker state machine,
 //!   shared with the multi-node cluster driver (`nexus-cluster`),
+//! * [`MasterSm`] — the master-thread state machine (`taskwait` / `taskwait
+//!   on` escalation, barrier and back-pressure time bookkeeping), also shared
+//!   with the cluster driver,
 //! * [`sweep`] — speedup-vs-core-count curves and suite sweeps used by the
 //!   benchmark harness to regenerate Figs. 7–9 and Table IV.
 
@@ -27,6 +30,7 @@
 pub mod driver;
 pub mod ideal;
 pub mod manager;
+pub mod master;
 pub mod metrics;
 pub mod pool;
 pub mod sweep;
@@ -34,6 +38,7 @@ pub mod sweep;
 pub use driver::{simulate, HostConfig};
 pub use ideal::IdealManager;
 pub use manager::{ManagerEvent, TaskManager};
+pub use master::{MasterSm, MasterStep};
 pub use metrics::SimOutcome;
 pub use pool::WorkerPool;
 pub use sweep::{speedup_curve, SpeedupCurve, SpeedupPoint};

@@ -1,0 +1,54 @@
+//! # nexus-sched — pluggable placement and work-stealing policies
+//!
+//! The paper distributes task management *within* a chip with a fixed XOR
+//! hash; the cluster driver (`nexus-cluster`) initially lifted exactly that
+//! function to whole-node scope. But at cluster scale the placement decision
+//! and dynamic load balancing — not the hash — determine makespan and link
+//! traffic (compare DuctTeip's data-locality-driven placement and the
+//! distributed runtime of Bosch et al.). This crate makes both decisions
+//! pluggable:
+//!
+//! * [`PlacementPolicy`] — which node a submitted task calls home. Built-ins:
+//!   [`XorHash`] (affinity hint, then the paper's XOR distribution function —
+//!   the original cluster routing), [`AffinityFirst`] (hint, then least
+//!   loaded) and [`LocalityAware`] (hint, then greedy remote-edge
+//!   minimization over the dependence census).
+//! * [`StealPolicy`] — whether an idle node pulls pending descriptors from a
+//!   loaded neighbour, paying the descriptor re-forwarding cost over the
+//!   interconnect. Built-ins: [`NoStealing`] and [`StealMostLoaded`].
+//!
+//! Both are selected through `ClusterConfig` (see `nexus-cluster`) via the
+//! serializable [`PolicyKind`] / [`StealKind`] handles, whose `FromStr`
+//! implementations are case-insensitive and list the valid spellings on a
+//! typo — the benches hook them up to `NEXUS_POLICY`.
+//!
+//! ## Example
+//!
+//! ```
+//! use nexus_sched::{PlacementCtx, PlacementPolicy, PlacedLoad, PolicyKind};
+//! use nexus_trace::TaskDescriptor;
+//!
+//! let mut policy = "Locality".parse::<PolicyKind>().unwrap().build();
+//! let loads = vec![PlacedLoad::default(); 2];
+//! let consumer = TaskDescriptor::builder(7).input(0x100).output(0x200).build();
+//! let ctx = PlacementCtx { nodes: 2, loads: &loads, producer_homes: &[1] };
+//! // The consumer's only producer lives on node 1: keep the edge local.
+//! assert_eq!(policy.place(&consumer, &ctx), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod place;
+pub mod steal;
+
+pub use place::{
+    primary_addr, xor_home, AffinityFirst, LocalityAware, PlacedLoad, PlacementCtx,
+    PlacementPolicy, PolicyKind, XorHash,
+};
+pub use steal::{NoStealing, NodeLoad, StealKind, StealMostLoaded, StealPolicy};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::place::{PlacedLoad, PlacementCtx, PlacementPolicy, PolicyKind};
+    pub use crate::steal::{NodeLoad, StealKind, StealPolicy};
+}

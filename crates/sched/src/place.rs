@@ -1,0 +1,371 @@
+//! Task → node placement policies.
+//!
+//! The cluster driver routes every submitted task to a *home node* before the
+//! simulation starts (the routing pre-pass). [`PlacementPolicy`] is the
+//! pluggable interface of that decision: it sees the task descriptor, the
+//! homes of the task's last-writer producers (the dependence census
+//! accumulated so far) and a snapshot of the load already placed on every
+//! node, and returns the home node.
+//!
+//! Three built-in policies span the design space:
+//!
+//! * [`XorHash`] — the behaviour the cluster driver shipped with: honour the
+//!   affinity hint, otherwise fold the primary output address through the
+//!   paper's XOR distribution function (§IV-B) at cluster scope,
+//! * [`AffinityFirst`] — honour the affinity hint, otherwise balance: send
+//!   un-hinted tasks to the node with the least placed work,
+//! * [`LocalityAware`] — honour the affinity hint, otherwise greedily place
+//!   each task with the majority of its last-writer producers (minimizing the
+//!   remote-edge fraction of un-hinted traces), breaking ties toward the
+//!   least-loaded node.
+//!
+//! All policies honour explicit affinity hints: a hint is the programmer's
+//! (or trace generator's) domain decomposition, and overriding it would break
+//! the workload's locality story. Policies only differ on *un-hinted* tasks.
+
+use nexus_core::distribution::xor_hash_tg;
+use nexus_sim::SimDuration;
+use nexus_trace::TaskDescriptor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Load already placed on one node by the routing pre-pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacedLoad {
+    /// Tasks placed on the node so far.
+    pub tasks: u64,
+    /// Total execution time of the tasks placed on the node so far.
+    pub work: SimDuration,
+}
+
+/// Everything a placement policy may consult for one task.
+#[derive(Debug)]
+pub struct PlacementCtx<'a> {
+    /// Number of nodes in the cluster (≥ 1).
+    pub nodes: usize,
+    /// Per-node load placed so far (`loads.len() == nodes`).
+    pub loads: &'a [PlacedLoad],
+    /// Home nodes of the task's distinct last-writer producers, in producer
+    /// submission order (the dependence census for this task).
+    pub producer_homes: &'a [usize],
+}
+
+impl PlacementCtx<'_> {
+    /// The node with the least placed work, breaking ties toward the lowest
+    /// index (deterministic).
+    pub fn least_loaded(&self) -> usize {
+        self.loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| (l.work, l.tasks))
+            .map(|(n, _)| n)
+            .unwrap_or(0)
+    }
+}
+
+/// A task-to-node placement policy (see the [module docs](self)).
+///
+/// Policies are stateful: they are driven once per task, in submission order,
+/// by the routing pre-pass. Determinism is required — the same trace and node
+/// count must always produce the same placement.
+///
+/// # Example
+///
+/// ```
+/// use nexus_sched::{PlacementCtx, PlacementPolicy, PlacedLoad, XorHash, LocalityAware};
+/// use nexus_trace::TaskDescriptor;
+///
+/// let producer = TaskDescriptor::builder(0).output(0x1000).build();
+/// let consumer = TaskDescriptor::builder(1).input(0x1000).output(0x2000).build();
+///
+/// let loads = vec![PlacedLoad::default(); 4];
+/// let ctx = |homes: &'static [usize]| PlacementCtx {
+///     nodes: 4,
+///     loads: &loads,
+///     producer_homes: homes,
+/// };
+///
+/// // XorHash ignores the census entirely …
+/// let mut xor = XorHash;
+/// let home = xor.place(&producer, &ctx(&[]));
+/// assert!(home < 4);
+///
+/// // … while LocalityAware follows the producer.
+/// let mut loc = LocalityAware::default();
+/// assert_eq!(loc.place(&consumer, &ctx(&[2])), 2);
+/// ```
+pub trait PlacementPolicy {
+    /// Short human-readable policy name (stable; used in reports and tables).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the home node of `task`. Must return a value `< ctx.nodes`.
+    fn place(&mut self, task: &TaskDescriptor, ctx: &PlacementCtx<'_>) -> usize;
+}
+
+/// The address used to route a task: its first written parameter, falling back
+/// to its first parameter (tasks always have at least one in a valid trace).
+pub fn primary_addr(task: &TaskDescriptor) -> u64 {
+    task.outputs()
+        .next()
+        .or_else(|| task.params.first())
+        .map(|p| p.addr)
+        .unwrap_or(0)
+}
+
+/// The home node `task` gets under [`XorHash`] in a cluster of `nodes` nodes:
+/// the affinity hint if present (wrapped), otherwise the paper's XOR
+/// distribution function over the primary address.
+pub fn xor_home(task: &TaskDescriptor, nodes: usize) -> usize {
+    task.home_node(nodes)
+        .unwrap_or_else(|| xor_hash_tg(primary_addr(task), nodes))
+}
+
+/// Affinity hint first, XOR distribution function otherwise — the routing the
+/// cluster driver shipped with, extracted verbatim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XorHash;
+
+impl PlacementPolicy for XorHash {
+    fn name(&self) -> &'static str {
+        "xorhash"
+    }
+
+    fn place(&mut self, task: &TaskDescriptor, ctx: &PlacementCtx<'_>) -> usize {
+        xor_home(task, ctx.nodes)
+    }
+}
+
+/// Affinity hint first, least-loaded node otherwise.
+///
+/// Un-hinted tasks are balanced by placed work rather than hashed, trading
+/// locality for an even split — useful as the load-balance end of the design
+/// space and as the fallback when traces carry partial hints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AffinityFirst;
+
+impl PlacementPolicy for AffinityFirst {
+    fn name(&self) -> &'static str {
+        "affinity"
+    }
+
+    fn place(&mut self, task: &TaskDescriptor, ctx: &PlacementCtx<'_>) -> usize {
+        task.home_node(ctx.nodes)
+            .unwrap_or_else(|| ctx.least_loaded())
+    }
+}
+
+/// Affinity hint first; otherwise greedy remote-edge minimization.
+///
+/// An un-hinted task is placed on the node where the most of its last-writer
+/// producers live, so the dependence edge to each of them stays node-local and
+/// no retirement notification has to cross the interconnect. Ties (including
+/// the no-producer case — root tasks) are broken toward the node with the
+/// least placed work, which keeps the placement from collapsing onto one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalityAware;
+
+impl PlacementPolicy for LocalityAware {
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+
+    fn place(&mut self, task: &TaskDescriptor, ctx: &PlacementCtx<'_>) -> usize {
+        if let Some(hint) = task.home_node(ctx.nodes) {
+            return hint;
+        }
+        let mut votes = vec![0u64; ctx.nodes];
+        for &h in ctx.producer_homes {
+            votes[h] += 1;
+        }
+        let best = votes.iter().copied().max().unwrap_or(0);
+        if best == 0 {
+            return ctx.least_loaded();
+        }
+        // Among the most-voted nodes, prefer the least loaded (deterministic:
+        // ties fall to the lowest index).
+        (0..ctx.nodes)
+            .filter(|&n| votes[n] == best)
+            .min_by_key(|&n| (ctx.loads[n].work, ctx.loads[n].tasks, n))
+            .unwrap_or(0)
+    }
+}
+
+/// Selectable placement policies (the `ClusterConfig` / `NEXUS_POLICY` handle
+/// for the built-in [`PlacementPolicy`] implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// [`XorHash`].
+    #[default]
+    XorHash,
+    /// [`AffinityFirst`].
+    AffinityFirst,
+    /// [`LocalityAware`].
+    LocalityAware,
+}
+
+impl PolicyKind {
+    /// Every selectable policy, in display order.
+    pub const ALL: [PolicyKind; 3] = [
+        PolicyKind::XorHash,
+        PolicyKind::AffinityFirst,
+        PolicyKind::LocalityAware,
+    ];
+
+    /// The accepted (lower-case canonical) spellings, for error messages.
+    pub const VALID: &'static str = "xorhash|affinity|locality";
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::XorHash => Box::new(XorHash),
+            PolicyKind::AffinityFirst => Box::new(AffinityFirst),
+            PolicyKind::LocalityAware => Box::new(LocalityAware),
+        }
+    }
+
+    /// The canonical name (matches [`PlacementPolicy::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::XorHash => "xorhash",
+            PolicyKind::AffinityFirst => "affinity",
+            PolicyKind::LocalityAware => "locality",
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    /// Case-insensitive; also accepts the long type names
+    /// (`"LocalityAware"`, `"affinity-first"`, …).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "xorhash" | "xor" | "xor-hash" => Ok(PolicyKind::XorHash),
+            "affinity" | "affinityfirst" | "affinity-first" => Ok(PolicyKind::AffinityFirst),
+            "locality" | "localityaware" | "locality-aware" => Ok(PolicyKind::LocalityAware),
+            other => Err(format!(
+                "unknown placement policy {other:?} (expected {})",
+                Self::VALID
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(loads: &'a [PlacedLoad], homes: &'a [usize]) -> PlacementCtx<'a> {
+        PlacementCtx {
+            nodes: loads.len(),
+            loads,
+            producer_homes: homes,
+        }
+    }
+
+    fn task(id: u64, addr: u64) -> TaskDescriptor {
+        TaskDescriptor::builder(id)
+            .inout(addr)
+            .duration(SimDuration::from_us(10))
+            .build()
+    }
+
+    #[test]
+    fn xorhash_matches_the_distribution_function() {
+        let loads = vec![PlacedLoad::default(); 4];
+        let t = task(0, 0x12345);
+        assert_eq!(
+            XorHash.place(&t, &ctx(&loads, &[])),
+            xor_hash_tg(0x12345, 4)
+        );
+        let hinted = TaskDescriptor::builder(1)
+            .inout(0x12345)
+            .affinity(3)
+            .build();
+        assert_eq!(XorHash.place(&hinted, &ctx(&loads, &[])), 3);
+        assert_eq!(xor_home(&hinted, 2), 1, "hints wrap modulo the node count");
+    }
+
+    #[test]
+    fn affinity_first_balances_unhinted_tasks_by_work() {
+        let mut loads = vec![PlacedLoad::default(); 3];
+        loads[0].work = SimDuration::from_us(100);
+        loads[0].tasks = 1;
+        let mut p = AffinityFirst;
+        // Node 1 and 2 are empty; the lowest index wins the tie.
+        assert_eq!(p.place(&task(0, 0xAAAA), &ctx(&loads, &[])), 1);
+        loads[1].work = SimDuration::from_us(50);
+        loads[1].tasks = 1;
+        assert_eq!(p.place(&task(1, 0xAAAA), &ctx(&loads, &[])), 2);
+    }
+
+    #[test]
+    fn locality_follows_the_producer_majority() {
+        let loads = vec![PlacedLoad::default(); 4];
+        let mut p = LocalityAware;
+        assert_eq!(p.place(&task(0, 0x10), &ctx(&loads, &[2, 2, 1])), 2);
+        // A tie falls to the less-loaded node.
+        let mut l2 = loads.clone();
+        l2[1].work = SimDuration::from_us(5);
+        l2[1].tasks = 1;
+        assert_eq!(p.place(&task(1, 0x10), &ctx(&l2, &[1, 3])), 3);
+        // Roots spread to the least-loaded node.
+        assert_eq!(p.place(&task(2, 0x10), &ctx(&l2, &[])), 0);
+    }
+
+    #[test]
+    fn hints_override_every_policy() {
+        let loads = vec![PlacedLoad::default(); 4];
+        let hinted = TaskDescriptor::builder(0).inout(0x40).affinity(2).build();
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build();
+            assert_eq!(p.place(&hinted, &ctx(&loads, &[1, 1, 1])), 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn kind_parsing_is_case_insensitive_with_clear_errors() {
+        assert_eq!(
+            "XorHash".parse::<PolicyKind>().unwrap(),
+            PolicyKind::XorHash
+        );
+        assert_eq!("XOR".parse::<PolicyKind>().unwrap(), PolicyKind::XorHash);
+        assert_eq!(
+            " Affinity-First ".parse::<PolicyKind>().unwrap(),
+            PolicyKind::AffinityFirst
+        );
+        assert_eq!(
+            "LOCALITY".parse::<PolicyKind>().unwrap(),
+            PolicyKind::LocalityAware
+        );
+        let err = "locallity".parse::<PolicyKind>().unwrap_err();
+        assert!(err.contains("xorhash|affinity|locality"), "{err}");
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.name().parse::<PolicyKind>().unwrap(), kind);
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(PolicyKind::default(), PolicyKind::XorHash);
+        assert_eq!(PolicyKind::LocalityAware.to_string(), "locality");
+    }
+
+    #[test]
+    fn placement_stays_in_range_on_every_policy() {
+        let loads = vec![PlacedLoad::default(); 5];
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build();
+            for id in 0..64 {
+                let t = task(id, id * 0x9E37);
+                let homes = [(id as usize) % 5];
+                let h = p.place(&t, &ctx(&loads, &homes));
+                assert!(h < 5, "{kind}: {h}");
+            }
+        }
+    }
+}

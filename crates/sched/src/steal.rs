@@ -1,0 +1,240 @@
+//! Work-stealing policies for idle cluster nodes.
+//!
+//! Static placement — however good — cannot anticipate runtime imbalance: a
+//! node whose domain finished early sits idle while a loaded neighbour's
+//! input queue backs up behind its task-pool capacity. [`StealPolicy`] is the
+//! pluggable decision of *whether* and *from whom* an idle node pulls pending
+//! task descriptors. The mechanics (re-forwarding the descriptor over the
+//! interconnect, re-homing its dependence notifications) live in the cluster
+//! driver; the policy only picks the victim and sizes the batch.
+//!
+//! A steal is only attempted for descriptors that are *eligible*: still queued
+//! at the victim's input processor (not yet handed to its manager) with every
+//! last-writer producer already retired, so the stolen task can execute
+//! anywhere without waiting on further notifications.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Runtime load snapshot of one node, as seen by a [`StealPolicy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// Descriptors queued at the node's input processor (not yet submitted to
+    /// its manager).
+    pub pending: usize,
+    /// Subset of `pending` that is eligible for stealing (all last-writer
+    /// producers retired, no notification in flight).
+    pub stealable: usize,
+    /// Ready tasks queued for the node's workers.
+    pub ready: usize,
+    /// Idle worker cores on the node.
+    pub free_workers: usize,
+    /// Tasks arrived at the node and not yet retired.
+    pub outstanding: u64,
+}
+
+/// A victim-selection policy for work stealing (see the [module docs](self)).
+///
+/// Driven by the cluster driver whenever a node goes idle (free workers, empty
+/// ready queue, empty input queue). Determinism is required.
+///
+/// # Example
+///
+/// ```
+/// use nexus_sched::{NodeLoad, StealMostLoaded, StealPolicy};
+///
+/// let mut loads = vec![NodeLoad::default(); 4];
+/// loads[2].pending = 40;
+/// loads[2].stealable = 25;
+///
+/// let mut policy = StealMostLoaded;
+/// // Node 0 is idle: steal from node 2, the only node with eligible backlog.
+/// assert_eq!(policy.choose_victim(0, &loads), Some(2));
+/// // Node 2 never steals from itself.
+/// assert_eq!(policy.choose_victim(2, &loads), None);
+/// ```
+pub trait StealPolicy {
+    /// Short human-readable policy name (stable; used in reports and tables).
+    fn name(&self) -> &'static str;
+
+    /// Chooses a victim for idle node `thief` given the cluster-wide load
+    /// snapshot, or `None` to stay idle. Victims must have `stealable > 0`.
+    fn choose_victim(&mut self, thief: usize, loads: &[NodeLoad]) -> Option<usize>;
+
+    /// Maximum number of descriptors to request in one steal, given the
+    /// thief's free worker count. Defaults to one per free worker.
+    fn batch(&self, free_workers: usize) -> usize {
+        free_workers.max(1)
+    }
+}
+
+/// Never steal — the behaviour the cluster driver shipped with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoStealing;
+
+impl StealPolicy for NoStealing {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn choose_victim(&mut self, _thief: usize, _loads: &[NodeLoad]) -> Option<usize> {
+        None
+    }
+
+    fn batch(&self, _free_workers: usize) -> usize {
+        0
+    }
+}
+
+/// Steal from the neighbour with the largest eligible backlog, breaking ties
+/// toward the lowest node index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealMostLoaded;
+
+impl StealPolicy for StealMostLoaded {
+    fn name(&self) -> &'static str {
+        "most-loaded"
+    }
+
+    fn choose_victim(&mut self, thief: usize, loads: &[NodeLoad]) -> Option<usize> {
+        loads
+            .iter()
+            .enumerate()
+            .filter(|&(n, l)| n != thief && l.stealable > 0)
+            .max_by_key(|&(n, l)| (l.stealable, usize::MAX - n))
+            .map(|(n, _)| n)
+    }
+}
+
+/// Selectable steal policies (the `ClusterConfig` / env handle for the
+/// built-in [`StealPolicy`] implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StealKind {
+    /// [`NoStealing`].
+    #[default]
+    Disabled,
+    /// [`StealMostLoaded`].
+    MostLoaded,
+}
+
+impl StealKind {
+    /// Every selectable steal policy, in display order.
+    pub const ALL: [StealKind; 2] = [StealKind::Disabled, StealKind::MostLoaded];
+
+    /// The accepted (lower-case canonical) spellings, for error messages.
+    pub const VALID: &'static str = "off|steal";
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn StealPolicy> {
+        match self {
+            StealKind::Disabled => Box::new(NoStealing),
+            StealKind::MostLoaded => Box::new(StealMostLoaded),
+        }
+    }
+
+    /// True when stealing is enabled at all (lets the driver skip the idle
+    /// scan entirely).
+    pub fn is_enabled(self) -> bool {
+        self != StealKind::Disabled
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StealKind::Disabled => "off",
+            StealKind::MostLoaded => "steal",
+        }
+    }
+}
+
+impl fmt::Display for StealKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for StealKind {
+    type Err = String;
+
+    /// Case-insensitive; accepts a few natural spellings.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "disabled" | "0" => Ok(StealKind::Disabled),
+            "steal" | "on" | "mostloaded" | "most-loaded" | "1" => Ok(StealKind::MostLoaded),
+            other => Err(format!(
+                "unknown steal policy {other:?} (expected {})",
+                Self::VALID
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_loaded_picks_the_biggest_eligible_backlog() {
+        let mut loads = vec![NodeLoad::default(); 4];
+        loads[1].pending = 10; // pending but nothing eligible
+        loads[2] = NodeLoad {
+            pending: 8,
+            stealable: 5,
+            ..NodeLoad::default()
+        };
+        loads[3] = NodeLoad {
+            pending: 9,
+            stealable: 5,
+            ..NodeLoad::default()
+        };
+        let mut p = StealMostLoaded;
+        // Ties on `stealable` break toward the lowest index.
+        assert_eq!(p.choose_victim(0, &loads), Some(2));
+        loads[3].stealable = 6;
+        assert_eq!(p.choose_victim(0, &loads), Some(3));
+        assert_eq!(p.choose_victim(3, &loads), Some(2));
+        assert!(p.batch(4) == 4 && p.batch(0) == 1);
+    }
+
+    #[test]
+    fn no_stealing_never_picks_anyone() {
+        let loads = vec![
+            NodeLoad {
+                pending: 100,
+                stealable: 100,
+                ..NodeLoad::default()
+            };
+            2
+        ];
+        let mut p = NoStealing;
+        assert_eq!(p.choose_victim(0, &loads), None);
+        assert_eq!(p.batch(8), 0);
+    }
+
+    #[test]
+    fn empty_cluster_yields_no_victim() {
+        let loads = vec![NodeLoad::default(); 3];
+        assert_eq!(StealMostLoaded.choose_victim(1, &loads), None);
+    }
+
+    #[test]
+    fn kind_parsing_is_case_insensitive_with_clear_errors() {
+        assert_eq!("OFF".parse::<StealKind>().unwrap(), StealKind::Disabled);
+        assert_eq!("Steal".parse::<StealKind>().unwrap(), StealKind::MostLoaded);
+        assert_eq!(
+            "Most-Loaded".parse::<StealKind>().unwrap(),
+            StealKind::MostLoaded
+        );
+        let err = "stea1".parse::<StealKind>().unwrap_err();
+        assert!(err.contains("off|steal"), "{err}");
+        for kind in StealKind::ALL {
+            assert_eq!(kind.name().parse::<StealKind>().unwrap(), kind);
+        }
+        assert_eq!(StealKind::default(), StealKind::Disabled);
+        assert!(!StealKind::Disabled.is_enabled());
+        assert!(StealKind::MostLoaded.is_enabled());
+        assert_eq!(StealKind::MostLoaded.build().name(), "most-loaded");
+        assert_eq!(StealKind::Disabled.build().name(), "none");
+    }
+}

@@ -109,6 +109,81 @@ pub fn partition(
     b.finish()
 }
 
+/// Per-node workload weights of an imbalanced partition: a linear ramp from
+/// `skew` (node 0) down to `1.0` (the last node), normalized so `skew = 1`
+/// is the balanced case. Node 0 therefore owns `skew`× the work of the last
+/// node — the deliberately overloaded domain the work-stealing policies must
+/// drain.
+///
+/// # Panics
+/// Panics if `nodes` is zero or `skew < 1`.
+pub fn skew_weights(nodes: usize, skew: f64) -> Vec<f64> {
+    assert!(nodes > 0, "need at least one node domain");
+    assert!(
+        skew.is_finite() && skew >= 1.0,
+        "skew must be a finite factor >= 1 (got {skew})"
+    );
+    (0..nodes)
+        .map(|n| {
+            if nodes == 1 {
+                1.0 // a single domain has nothing to be skewed against
+            } else {
+                skew + (1.0 - skew) * n as f64 / (nodes - 1) as f64
+            }
+        })
+        .collect()
+}
+
+/// Strips every affinity hint from `trace`, leaving routing entirely to the
+/// placement policy (the un-hinted workloads of the `policy_comparison`
+/// sweep). Everything else — addresses, durations, barriers — is unchanged.
+pub fn unhinted(trace: &Trace) -> Trace {
+    let mut out = trace.clone();
+    out.name = format!("{}-unhinted", trace.name);
+    for op in &mut out.ops {
+        if let crate::trace::TraceOp::Submit(task) = op {
+            task.affinity = None;
+        }
+    }
+    out
+}
+
+/// An imbalanced node-partitioned batch of independent tasks: node `n` owns
+/// `weights[n] / weights.last()` × `base_tasks` independent tasks of
+/// `duration` each (see [`skew_weights`]), plus the usual `remote_fraction`
+/// halo coupling. With `skew > 1` node 0 is deliberately overloaded while the
+/// last node finishes early — the reproducible test bed for work stealing
+/// (without stealing, the makespan is pinned to node 0's backlog).
+///
+/// # Panics
+/// Panics if `nodes` or `base_tasks` is zero, or `skew < 1`.
+pub fn imbalanced(
+    nodes: usize,
+    base_tasks: u64,
+    skew: f64,
+    duration: SimDuration,
+    remote_fraction: f64,
+    seed: u64,
+) -> Trace {
+    assert!(base_tasks > 0, "need at least one task per node domain");
+    let subs = skew_weights(nodes, skew)
+        .into_iter()
+        .map(|w| {
+            let count = ((base_tasks as f64 * w).round() as u64).max(1);
+            super::micro::independent_tasks(count, 2, duration)
+        })
+        .collect();
+    partition(
+        format!(
+            "dist-imbalanced-{base_tasks}t-s{skew:.1}-{nodes}n-r{:.0}",
+            remote_fraction.clamp(0.0, 1.0) * 100.0
+        ),
+        subs,
+        remote_fraction,
+        seed,
+    )
+}
+
 /// A node-partitioned blocked sparse LU factorization: each node factorizes
 /// its own block matrix (per-node seed/scale as in
 /// [`super::sparselu::generate`]) with a `remote_fraction` halo coupling.
@@ -230,6 +305,59 @@ mod tests {
         t.validate().unwrap();
         for task in t.tasks() {
             assert_eq!(task.affinity, Some(0));
+        }
+    }
+
+    #[test]
+    fn skew_weights_ramp_from_skew_to_one() {
+        let w = skew_weights(4, 3.0);
+        assert_eq!(w.len(), 4);
+        assert!((w[0] - 3.0).abs() < 1e-12 && (w[3] - 1.0).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]), "{w:?}");
+        assert!(skew_weights(4, 1.0)
+            .iter()
+            .all(|&x| (x - 1.0).abs() < 1e-12));
+        // One node: skew is meaningless, the workload stays at base size.
+        assert_eq!(skew_weights(1, 2.0), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be")]
+    fn sub_unit_skew_is_rejected() {
+        let _ = skew_weights(4, 0.5);
+    }
+
+    #[test]
+    fn imbalanced_partition_overloads_node_zero() {
+        let t = imbalanced(4, 64, 4.0, SimDuration::from_us(50), 0.0, 9);
+        t.validate().unwrap();
+        let mut per_node = vec![0u64; 4];
+        for task in t.tasks() {
+            per_node[task.affinity.unwrap() as usize] += 1;
+        }
+        assert_eq!(per_node[3], 64);
+        assert_eq!(per_node[0], 256, "{per_node:?}");
+        assert!(per_node.windows(2).all(|p| p[0] >= p[1]), "{per_node:?}");
+        // Balanced at skew = 1.
+        let flat = imbalanced(4, 64, 1.0, SimDuration::from_us(50), 0.0, 9);
+        assert_eq!(flat.task_count(), 4 * 64);
+        // Deterministic.
+        let again = imbalanced(4, 64, 4.0, SimDuration::from_us(50), 0.0, 9);
+        assert_eq!(t.ops, again.ops);
+    }
+
+    #[test]
+    fn unhinted_strips_every_affinity_and_nothing_else() {
+        let hinted = sparselu(4, 0.3, 11, 0.002);
+        let bare = unhinted(&hinted);
+        assert_eq!(bare.name, format!("{}-unhinted", hinted.name));
+        assert_eq!(bare.task_count(), hinted.task_count());
+        assert_eq!(bare.total_work(), hinted.total_work());
+        for (a, b) in hinted.tasks().zip(bare.tasks()) {
+            assert!(a.affinity.is_some());
+            assert!(b.affinity.is_none());
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.duration, b.duration);
         }
     }
 

@@ -15,6 +15,7 @@
 //! | [`sharp`] | `nexus-core` | **Nexus#**, the distributed manager (§IV) |
 //! | [`nanos`] | `nexus-nanos` | the software runtime (Nanos) cost model |
 //! | [`host`] | `nexus-host` | the simulated multicore host / testbench (§V) |
+//! | [`sched`] | `nexus-sched` | pluggable placement and work-stealing policies |
 //! | [`cluster`] | `nexus-cluster` | multi-node cluster simulation with an interconnect model |
 //! | [`rt`] | `nexus-rt` | a real threaded runtime using the Nexus# algorithm |
 //!
@@ -45,6 +46,7 @@ pub use nexus_nanos as nanos;
 pub use nexus_pp as pp;
 pub use nexus_resources as resources;
 pub use nexus_rt as rt;
+pub use nexus_sched as sched;
 pub use nexus_sim as sim;
 pub use nexus_taskgraph as taskgraph;
 pub use nexus_trace as trace;
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use nexus_pp::{NexusPP, NexusPPConfig};
     pub use nexus_resources::{ManagerConfig, ResourceModel};
     pub use nexus_rt::{Runtime, TaskSpec};
+    pub use nexus_sched::{PlacementPolicy, PolicyKind, StealKind, StealPolicy};
     pub use nexus_sim::{SimDuration, SimTime};
     pub use nexus_trace::{Benchmark, TaskDescriptor, Trace, TraceStats};
 }
