@@ -12,12 +12,14 @@
 //! Run with: `cargo bench -p nexus-bench --bench cluster_scalability`
 //! Environment: `NEXUS_BENCH_SCALE=<0..1>` (default 0.1), `NEXUS_FULL=1`,
 //! `NEXUS_LINK=rdma|ethernet|ideal` (default rdma),
-//! `NEXUS_POLICY=xorhash|affinity|locality` (default xorhash),
-//! `NEXUS_STEAL=off|steal` (default off). All knobs are case-insensitive.
+//! `NEXUS_POLICY=xorhash|affinity|locality|topo` (default xorhash),
+//! `NEXUS_STEAL=off|steal|steal-half|hier` (default off),
+//! `NEXUS_TOPO=bus|mesh|racktiers|torus|dragonfly` (default: the link
+//! preset's wiring). All knobs are case-insensitive.
 
 use nexus_bench::report::Table;
 use nexus_bench::runner::{
-    bench_scale, cluster_link, cluster_node_counts, cluster_policy, cluster_steal,
+    bench_scale, cluster_link, cluster_node_counts, cluster_policy, cluster_steal, cluster_topology,
 };
 use nexus_cluster::{remote_edge_fraction, simulate_cluster, ClusterConfig};
 use nexus_core::NexusSharp;
@@ -27,7 +29,10 @@ fn main() {
     // The distributed trace grows with the node count; keep the per-domain
     // scale small enough that the 8-node sweep stays quick.
     let scale = (bench_scale() * 0.02).clamp(0.001, 0.05);
-    let link = cluster_link();
+    let mut link = cluster_link();
+    if let Some(topology) = cluster_topology() {
+        link = link.with_topology(topology);
+    }
     let placement = cluster_policy();
     let stealing = cluster_steal();
     let workers_per_node = 8;

@@ -14,7 +14,7 @@ use nexus_bench::managers::ManagerKind;
 use nexus_bench::paper::table4_row;
 use nexus_bench::report::{fmt_speedup, Table};
 use nexus_bench::runner::{bench_scale, cluster_link, curves_for};
-use nexus_cluster::{simulate_cluster, ClusterConfig, PolicyKind, StealKind};
+use nexus_cluster::{simulate_cluster, ClusterConfig, PolicyKind, StealKind, Topology};
 use nexus_core::NexusSharp;
 use nexus_sim::SimDuration;
 use nexus_trace::generators::distributed;
@@ -72,6 +72,7 @@ fn main() {
 
     cluster_section();
     policy_section();
+    topology_section();
 }
 
 /// A small cluster-scalability sample: a 4-domain partitioned sparselu under
@@ -144,6 +145,69 @@ fn policy_section() {
             out.stealing.clone(),
             format!("{}", out.makespan),
             format!("{}", out.steals),
+            format!("{}", out.link.words),
+        ]);
+    }
+    table.print();
+}
+
+/// A small topology sample: one rack-clustered trace over every fabric, plus
+/// the flat vs topology-aware scheduling stacks on the rack-tiered fabric
+/// (see the `topology_comparison` bench for the full sweep).
+fn topology_section() {
+    let link = cluster_link();
+    let us = SimDuration::from_us;
+    let matched = distributed::rack_clustered(2, 2, 8, 8, 1.0, 0.5, 0.0, us(30), 42);
+    let mut table = Table::new(
+        "Quick topology run: 4 nodes, Nexus# 6TG per node, 4 workers/node",
+        &[
+            "trace",
+            "topology",
+            "placement",
+            "stealing",
+            "makespan",
+            "link words",
+        ],
+    );
+    for topology in Topology::ALL {
+        let cfg = ClusterConfig::new(4, 4).with_link(link.with_topology(topology));
+        let out = simulate_cluster(&matched, &cfg, |_| NexusSharp::paper(6));
+        table.row(vec![
+            matched.name.clone(),
+            out.topology.clone(),
+            out.placement.clone(),
+            out.stealing.clone(),
+            format!("{}", out.makespan),
+            format!("{}", out.link.words),
+        ]);
+    }
+    // Flat vs aware stacks on the tiered fabric (un-hinted, rack heads 3x).
+    let skewed = distributed::unhinted(&distributed::rack_clustered(
+        2,
+        2,
+        8,
+        8,
+        3.0,
+        0.6,
+        0.0,
+        us(30),
+        11,
+    ));
+    for (placement, stealing) in [
+        (PolicyKind::XorHash, StealKind::MostLoaded),
+        (PolicyKind::TopologyAware, StealKind::Hierarchical),
+    ] {
+        let cfg = ClusterConfig::new(4, 4)
+            .with_link(link.with_topology(Topology::RackTiers))
+            .with_placement(placement)
+            .with_stealing(stealing);
+        let out = simulate_cluster(&skewed, &cfg, |_| NexusSharp::paper(6));
+        table.row(vec![
+            skewed.name.clone(),
+            out.topology.clone(),
+            out.placement.clone(),
+            out.stealing.clone(),
+            format!("{}", out.makespan),
             format!("{}", out.link.words),
         ]);
     }

@@ -60,15 +60,27 @@ pub fn cluster_policy() -> nexus_sched::PolicyKind {
         .unwrap_or_else(|e: String| env_knob_error("NEXUS_POLICY", &e))
 }
 
-/// The work-stealing policy used by the cluster benches: `NEXUS_STEAL=off`
-/// (default) or `steal`, case-insensitively. Typos abort with the list of
-/// valid values.
+/// The work-stealing policy used by the cluster benches:
+/// `NEXUS_STEAL=off` (default), `steal`, `steal-half` or `hier`,
+/// case-insensitively. Typos abort with the list of valid values.
 pub fn cluster_steal() -> nexus_sched::StealKind {
     let Ok(raw) = std::env::var("NEXUS_STEAL") else {
         return nexus_sched::StealKind::default();
     };
     raw.parse()
         .unwrap_or_else(|e: String| env_knob_error("NEXUS_STEAL", &e))
+}
+
+/// The interconnect topology override used by the cluster benches:
+/// `NEXUS_TOPO=bus|mesh|racktiers|torus|dragonfly`, case-insensitively.
+/// `None` when unset — the benches then keep the topology of the selected
+/// `NEXUS_LINK` preset. Typos abort with the list of valid values.
+pub fn cluster_topology() -> Option<nexus_topo::TopologyKind> {
+    let raw = std::env::var("NEXUS_TOPO").ok()?;
+    Some(
+        raw.parse()
+            .unwrap_or_else(|e: String| env_knob_error("NEXUS_TOPO", &e)),
+    )
 }
 
 /// The workload scale factor used by the benches: `NEXUS_FULL=1` forces 1.0,
@@ -142,6 +154,7 @@ mod tests {
         assert_eq!(cluster_link(), nexus_cluster::LinkConfig::rdma());
         assert_eq!(cluster_policy(), nexus_sched::PolicyKind::XorHash);
         assert_eq!(cluster_steal(), nexus_sched::StealKind::Disabled);
+        assert_eq!(cluster_topology(), None);
     }
 
     #[test]

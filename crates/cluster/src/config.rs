@@ -2,21 +2,21 @@
 
 use nexus_sched::{PolicyKind, StealKind};
 use nexus_sim::SimDuration;
+use nexus_topo::Fabric;
 use serde::{Deserialize, Serialize};
 
-/// How the nodes are wired together.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Topology {
-    /// One shared medium: every message (any source, any destination)
-    /// serializes on the same wire. The pessimistic end of the design space —
-    /// cross-node traffic contends globally.
-    SharedBus,
-    /// A dedicated link per ordered node pair: messages only queue behind
-    /// traffic of the same (source, destination) pair.
-    FullMesh,
-}
+/// How the nodes are wired together — re-exported from `nexus-topo`, which
+/// owns the fabric builders. `SharedBus` / `FullMesh` are the degenerate
+/// uniform cases the cluster shipped with; `RackTiers`, `Torus2D` and
+/// `Dragonfly` are genuinely non-uniform (multi-hop routes, locality tiers).
+pub use nexus_topo::TopologyKind as Topology;
 
 /// Timing parameters of the interconnect links.
+///
+/// `latency` / `per_word` describe a *base* (tier-0, most local) link; the
+/// non-uniform topologies derive their higher tiers from it (e.g. an
+/// inter-rack trunk is 8× the latency at ¼ the bandwidth — see
+/// `nexus_topo::kinds`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LinkConfig {
     /// Propagation latency added to every message after serialization.
@@ -68,6 +68,12 @@ impl LinkConfig {
     pub fn with_latency(mut self, latency: SimDuration) -> Self {
         self.latency = latency;
         self
+    }
+
+    /// Builds the interconnect fabric for `nodes` nodes (see
+    /// [`Topology::build`]).
+    pub fn fabric(&self, nodes: usize) -> Fabric {
+        self.topology.build(nodes, self.latency, self.per_word)
     }
 }
 
@@ -157,6 +163,17 @@ mod tests {
         assert_eq!(cfg.link.latency, SimDuration::from_us(10));
         assert_eq!(LinkConfig::default(), LinkConfig::rdma());
         assert!(LinkConfig::ideal().latency.is_zero());
+    }
+
+    #[test]
+    fn fabric_builder_honours_the_selected_topology() {
+        let rack = LinkConfig::rdma().with_topology(Topology::RackTiers);
+        let f = rack.fabric(4);
+        assert_eq!(f.nodes(), 4);
+        assert_eq!(f.tier_count(), 2, "4 nodes split into racks of 2");
+        let mesh = LinkConfig::rdma().fabric(4);
+        assert_eq!(mesh.tier_count(), 1);
+        assert_eq!(mesh.links().len(), 16);
     }
 
     #[test]

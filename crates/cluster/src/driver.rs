@@ -9,7 +9,10 @@
 //!   [`PlacementPolicy`](nexus_sched::PlacementPolicy) (affinity hint +
 //!   XOR distribution function by default) and its descriptor is forwarded
 //!   over the interconnect (`transfer_words()` words, as over PCIe in the
-//!   single-chip design);
+//!   single-chip design). Messages traverse the fabric hop by hop through
+//!   the event loop (one relay event per intermediate hop), so every link is
+//!   acquired at the message's physical arrival time and shared trunks of
+//!   tiered fabrics contend causally, in arrival order;
 //! * each node's **input processor** hands arrived descriptors to the local
 //!   manager strictly in arrival order (the links are FIFO, so this is
 //!   per-node program order — local dependency semantics are preserved by the
@@ -28,7 +31,11 @@
 //!   anywhere), and each stolen descriptor pays the full re-forwarding cost
 //!   on the victim→thief link. Consumers that would have resolved the stolen
 //!   task's dependence node-locally are re-subscribed to a cross-node
-//!   retirement notification, so dependence enforcement is preserved.
+//!   retirement notification, so dependence enforcement is preserved. A
+//!   stolen descriptor enters the thief's input queue at the *front*: it is
+//!   fully resolved by construction, and parking it behind the thief's own
+//!   blocked head would break the queues' topological order and can deadlock
+//!   the cluster on dependence-heavy traces.
 //!
 //! Cross-node anti-dependencies (a remote writer overtaking a remote reader)
 //! are intentionally *not* ordered: as in distributed task-based runtimes
@@ -49,6 +56,7 @@ use nexus_host::metrics::SimOutcome;
 use nexus_host::pool::WorkerPool;
 use nexus_sched::{NodeLoad, StealPolicy};
 use nexus_sim::{EventQueue, SimDuration, SimTime};
+use nexus_topo::{DistanceMatrix, Fabric};
 use nexus_trace::{TaskDescriptor, TaskId, Trace};
 use std::collections::{HashMap, VecDeque};
 
@@ -86,6 +94,52 @@ enum Event {
     StolenArrive { node: usize, idx: usize },
     /// The victim's empty-handed steal reply reaches the thief.
     StealFailed { thief: usize },
+    /// A multi-hop message finished hop `hop - 1` of the `from → to` route
+    /// and enters hop `hop` now (its physical arrival time at that link —
+    /// links are acquired causally, in arrival order).
+    Relay {
+        /// Source node of the message.
+        from: usize,
+        /// Destination node of the message.
+        to: usize,
+        /// Index of the hop the message enters now.
+        hop: usize,
+        /// Message size in 32-bit words (paid on every hop).
+        words: u64,
+        /// What happens when the message leaves the last hop.
+        then: Deliver,
+    },
+}
+
+/// Terminal action of a message once it leaves the fabric — the payload a
+/// multi-hop [`Event::Relay`] carries to its final hop.
+#[derive(Debug, Clone, Copy)]
+enum Deliver {
+    /// Becomes [`Event::DescriptorArrive`].
+    Descriptor { node: usize, idx: usize },
+    /// Becomes [`Event::NotifyArrive`].
+    Notify { idx: usize },
+    /// Becomes [`Event::MasterSawRetire`].
+    MasterRetire { task: TaskId },
+    /// Becomes [`Event::StealRequest`].
+    StealRequest { thief: usize, victim: usize },
+    /// Becomes [`Event::StolenArrive`].
+    Stolen { node: usize, idx: usize },
+    /// Becomes [`Event::StealFailed`].
+    StealFailed { thief: usize },
+}
+
+impl Deliver {
+    fn into_event(self) -> Event {
+        match self {
+            Deliver::Descriptor { node, idx } => Event::DescriptorArrive { node, idx },
+            Deliver::Notify { idx } => Event::NotifyArrive { idx },
+            Deliver::MasterRetire { task } => Event::MasterSawRetire { task },
+            Deliver::StealRequest { thief, victim } => Event::StealRequest { thief, victim },
+            Deliver::Stolen { node, idx } => Event::StolenArrive { node, idx },
+            Deliver::StealFailed { thief } => Event::StealFailed { thief },
+        }
+    }
 }
 
 /// Per-task routing and cross-node dependency bookkeeping.
@@ -161,11 +215,32 @@ impl<M: TaskManager> ClusterDriver<M> {
     ///
     /// # Panics
     /// Panics if `cfg.nodes` or `cfg.workers_per_node` is zero.
-    pub fn new(cfg: &ClusterConfig, mut make_manager: impl FnMut(usize) -> M) -> Self {
+    pub fn new(cfg: &ClusterConfig, make_manager: impl FnMut(usize) -> M) -> Self {
+        assert!(cfg.nodes > 0, "need at least one node");
+        Self::with_fabric(cfg, cfg.link.fabric(cfg.nodes), make_manager)
+    }
+
+    /// Builds a cluster per `cfg` over an explicit interconnect fabric
+    /// (custom rack/group sizes, hand-built graphs, …) instead of the one
+    /// derived from `cfg.link.topology`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.nodes` or `cfg.workers_per_node` is zero, or if the
+    /// fabric covers a different node count.
+    pub fn with_fabric(
+        cfg: &ClusterConfig,
+        fabric: Fabric,
+        mut make_manager: impl FnMut(usize) -> M,
+    ) -> Self {
         assert!(cfg.nodes > 0, "need at least one node");
         assert!(
             cfg.workers_per_node > 0,
             "need at least one worker per node"
+        );
+        assert_eq!(
+            fabric.nodes(),
+            cfg.nodes,
+            "fabric node count must match the cluster"
         );
         let nodes = (0..cfg.nodes)
             .map(|n| NodeState {
@@ -189,7 +264,7 @@ impl<M: TaskManager> ClusterDriver<M> {
         ClusterDriver {
             cfg: *cfg,
             nodes,
-            net: Interconnect::new(cfg.nodes, &cfg.link),
+            net: Interconnect::with_fabric(fabric),
             steals: 0,
             steal_failures: 0,
         }
@@ -203,7 +278,10 @@ impl<M: TaskManager> ClusterDriver<M> {
             tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
         let durations: HashMap<TaskId, SimDuration> =
             tasks.iter().map(|t| (t.id, t.duration)).collect();
-        let (mut metas, edges) = self.analyze(&tasks);
+        // The fabric's distance matrix is static; clone it out of the
+        // interconnect so the steal path can consult it while sending.
+        let distances = self.net.distances().clone();
+        let (mut metas, edges) = self.analyze(&tasks, &distances);
 
         let mut queue: EventQueue<Event> = EventQueue::new();
         let mut master = MasterSm::new();
@@ -235,9 +313,14 @@ impl<M: TaskManager> ClusterDriver<M> {
                             let home = metas[idx].home;
                             master.commit_submit(task, now);
                             // Forward the descriptor to its home node.
-                            let d = self.net.send(0, home, task.transfer_words(), now);
-                            queue
-                                .schedule(d.delivered, Event::DescriptorArrive { node: home, idx });
+                            let sender_free = self.send_msg(
+                                0,
+                                home,
+                                task.transfer_words(),
+                                now,
+                                Deliver::Descriptor { node: home, idx },
+                                &mut queue,
+                            );
                             // Subscribe to (or directly forward) the remote
                             // dependency notifications the task needs.
                             let producers = metas[idx].remote_producers.clone();
@@ -245,14 +328,20 @@ impl<M: TaskManager> ClusterDriver<M> {
                                 match metas[p].retired_at {
                                     Some(_) => {
                                         let ph = metas[p].home;
-                                        let d = self.net.send(ph, home, NOTIFY_WORDS, now);
+                                        self.send_msg(
+                                            ph,
+                                            home,
+                                            NOTIFY_WORDS,
+                                            now,
+                                            Deliver::Notify { idx },
+                                            &mut queue,
+                                        );
                                         notifications += 1;
-                                        queue.schedule(d.delivered, Event::NotifyArrive { idx });
                                     }
                                     None => metas[p].subscribers.push(idx),
                                 }
                             }
-                            queue.schedule(d.sender_free.max(now), Event::MasterStep);
+                            queue.schedule(sender_free.max(now), Event::MasterStep);
                         }
                         MasterStep::Compute(d) => {
                             queue.schedule(now + d, Event::MasterStep);
@@ -319,13 +408,26 @@ impl<M: TaskManager> ClusterDriver<M> {
                     metas[idx].retired_at = Some(now);
                     // Forward the retirement to every subscribed consumer…
                     for sub in std::mem::take(&mut metas[idx].subscribers) {
-                        let d = self.net.send(node, metas[sub].home, NOTIFY_WORDS, now);
+                        let home = metas[sub].home;
+                        self.send_msg(
+                            node,
+                            home,
+                            NOTIFY_WORDS,
+                            now,
+                            Deliver::Notify { idx: sub },
+                            &mut queue,
+                        );
                         notifications += 1;
-                        queue.schedule(d.delivered, Event::NotifyArrive { idx: sub });
                     }
                     // …and to the master (free if the task retired on node 0).
-                    let d = self.net.send(node, 0, NOTIFY_WORDS, now);
-                    queue.schedule(d.delivered, Event::MasterSawRetire { task });
+                    self.send_msg(
+                        node,
+                        0,
+                        NOTIFY_WORDS,
+                        now,
+                        Deliver::MasterRetire { task },
+                        &mut queue,
+                    );
                     // A task-pool slot may have been freed.
                     self.pump(node, now, &metas, &tasks, &mut queue);
                 }
@@ -353,7 +455,14 @@ impl<M: TaskManager> ClusterDriver<M> {
                     n.incoming_steals = n.incoming_steals.saturating_sub(1);
                     n.touch(now);
                     n.outstanding += 1;
-                    n.pending.push_back(idx);
+                    // Stolen descriptors enter at the FRONT: they are fully
+                    // resolved by construction (eligibility) and the thief
+                    // stole them to run *now*. Queueing them behind the
+                    // thief's own blocked head would break the topological
+                    // order of the per-node FIFO queues — an early-order
+                    // stolen task stuck behind a later blocked head can close
+                    // a cross-node head-of-line dependency cycle (deadlock).
+                    n.pending.push_front(idx);
                     n.max_pending = n.max_pending.max(n.pending.len());
                     self.pump(node, now, &metas, &tasks, &mut queue);
                 }
@@ -364,10 +473,34 @@ impl<M: TaskManager> ClusterDriver<M> {
                     n.last_steal_fail = Some(now);
                     n.touch(now);
                 }
+
+                Event::Relay {
+                    from,
+                    to,
+                    hop,
+                    words,
+                    then,
+                } => {
+                    let d = self.net.send_hop(from, to, hop, words, now);
+                    if hop + 1 == self.net.hops(from, to) {
+                        queue.schedule(d.delivered, then.into_event());
+                    } else {
+                        queue.schedule(
+                            d.delivered,
+                            Event::Relay {
+                                from,
+                                to,
+                                hop: hop + 1,
+                                words,
+                                then,
+                            },
+                        );
+                    }
+                }
             }
 
             if steal_enabled {
-                self.try_steals(now, &metas, steal_policy.as_mut(), &mut queue);
+                self.try_steals(now, &metas, &distances, steal_policy.as_mut(), &mut queue);
             }
         }
 
@@ -392,6 +525,7 @@ impl<M: TaskManager> ClusterDriver<M> {
             busy_time: self.net.busy_time(),
             wait_time: self.net.wait_time(),
             peak_utilization: self.net.peak_utilization(makespan),
+            per_tier: self.net.tier_stats(),
         };
         let max_pending_depth = self.nodes.iter().map(|n| n.max_pending).max().unwrap_or(0);
         let per_node: Vec<SimOutcome> = self
@@ -417,6 +551,7 @@ impl<M: TaskManager> ClusterDriver<M> {
             manager: self.nodes[0].manager.name(),
             placement: self.cfg.placement.name().to_string(),
             stealing: self.cfg.stealing.name().to_string(),
+            topology: self.net.fabric().name().to_string(),
             nodes: self.cfg.nodes,
             workers_per_node: self.cfg.workers_per_node,
             makespan: makespan.since(SimTime::ZERO),
@@ -436,8 +571,15 @@ impl<M: TaskManager> ClusterDriver<M> {
     /// Routes every task and finds its remote last-writer producers, in the
     /// same pass that accumulates the edge census (one [`DepScanner`] scan —
     /// the reported statistics and the enforced dependencies cannot diverge).
-    fn analyze(&self, tasks: &[&TaskDescriptor]) -> (Vec<TaskMeta>, crate::routing::EdgeStats) {
-        let mut scanner = DepScanner::with_policy(self.cfg.nodes, self.cfg.placement.build());
+    /// The fabric's distance matrix is handed to the placement policy so
+    /// distance-aware placements see the real tiers.
+    fn analyze(
+        &self,
+        tasks: &[&TaskDescriptor],
+        distances: &DistanceMatrix,
+    ) -> (Vec<TaskMeta>, crate::routing::EdgeStats) {
+        let mut scanner = DepScanner::with_policy(self.cfg.nodes, self.cfg.placement.build())
+            .with_distances(distances.clone());
         let mut metas: Vec<TaskMeta> = Vec::with_capacity(tasks.len());
         for task in tasks {
             let i = metas.len();
@@ -456,6 +598,44 @@ impl<M: TaskManager> ClusterDriver<M> {
             });
         }
         (metas, scanner.stats())
+    }
+
+    /// Hands a message to the fabric: serializes it onto the first hop now
+    /// and schedules an [`Event::Relay`] per remaining hop, so every link is
+    /// acquired at the message's physical arrival time (causal,
+    /// work-conserving FIFO per link — see `Interconnect::send_hop`). The
+    /// terminal [`Deliver`] fires when the message leaves the last hop.
+    /// Node-local messages (`from == to`) bypass the network and deliver
+    /// immediately. Returns when the sender's interface is free again.
+    fn send_msg(
+        &mut self,
+        from: usize,
+        to: usize,
+        words: u64,
+        now: SimTime,
+        then: Deliver,
+        queue: &mut EventQueue<Event>,
+    ) -> SimTime {
+        if from == to {
+            queue.schedule(now, then.into_event());
+            return now;
+        }
+        let d = self.net.send_hop(from, to, 0, words, now);
+        if self.net.hops(from, to) == 1 {
+            queue.schedule(d.delivered, then.into_event());
+        } else {
+            queue.schedule(
+                d.delivered,
+                Event::Relay {
+                    from,
+                    to,
+                    hop: 1,
+                    words,
+                    then,
+                },
+            );
+        }
+        d.sender_free
     }
 
     /// True if the descriptor at `idx` may be stolen: every last-writer
@@ -489,6 +669,7 @@ impl<M: TaskManager> ClusterDriver<M> {
         &mut self,
         now: SimTime,
         metas: &[TaskMeta],
+        distances: &DistanceMatrix,
         policy: &mut dyn StealPolicy,
         queue: &mut EventQueue<Event>,
     ) {
@@ -514,7 +695,7 @@ impl<M: TaskManager> ClusterDriver<M> {
             if !Self::may_steal(&self.nodes[thief], now) {
                 continue;
             }
-            let Some(victim) = policy.choose_victim(thief, &loads) else {
+            let Some(victim) = policy.choose_victim_tiered(thief, &loads, Some(distances)) else {
                 continue;
             };
             assert!(
@@ -523,14 +704,22 @@ impl<M: TaskManager> ClusterDriver<M> {
                 policy.name()
             );
             self.nodes[thief].steal_inflight = true;
-            let d = self.net.send(thief, victim, STEAL_WORDS, now);
-            queue.schedule(d.delivered, Event::StealRequest { thief, victim });
+            self.send_msg(
+                thief,
+                victim,
+                STEAL_WORDS,
+                now,
+                Deliver::StealRequest { thief, victim },
+                queue,
+            );
         }
     }
 
     /// Handles a steal request arriving at `victim`: hand over up to a batch
     /// of the youngest eligible pending descriptors (re-homing their
-    /// dependence notifications), or send an empty-handed reply.
+    /// dependence notifications), or send an empty-handed reply. The batch is
+    /// sized by the policy from the thief's free workers *and* the victim's
+    /// eligible backlog at grant time (adaptive policies steal half of it).
     #[allow(clippy::too_many_arguments)]
     fn grant_steal(
         &mut self,
@@ -543,21 +732,27 @@ impl<M: TaskManager> ClusterDriver<M> {
         queue: &mut EventQueue<Event>,
     ) {
         self.nodes[victim].touch(now);
-        let batch = policy.batch(self.nodes[thief].pool.free());
         // Positions of the youngest eligible descriptors, collected from the
         // back of the queue (descending, so removal is position-stable).
-        let positions: Vec<usize> = {
+        let mut positions: Vec<usize> = {
             let pending = &self.nodes[victim].pending;
             (0..pending.len())
                 .rev()
                 .filter(|&pos| Self::eligible(metas, pending[pos]))
-                .take(batch)
                 .collect()
         };
+        let batch = policy.batch_for(self.nodes[thief].pool.free(), positions.len());
+        positions.truncate(batch);
         if positions.is_empty() {
             self.steal_failures += 1;
-            let d = self.net.send(victim, thief, STEAL_WORDS, now);
-            queue.schedule(d.delivered, Event::StealFailed { thief });
+            self.send_msg(
+                victim,
+                thief,
+                STEAL_WORDS,
+                now,
+                Deliver::StealFailed { thief },
+                queue,
+            );
             return;
         }
         // The request is resolved; the thief stays quiet until every granted
@@ -582,10 +777,14 @@ impl<M: TaskManager> ClusterDriver<M> {
             }
             metas[idx].home = thief;
             self.steals += 1;
-            let d = self
-                .net
-                .send(victim, thief, tasks[idx].transfer_words(), now);
-            queue.schedule(d.delivered, Event::StolenArrive { node: thief, idx });
+            self.send_msg(
+                victim,
+                thief,
+                tasks[idx].transfer_words(),
+                now,
+                Deliver::Stolen { node: thief, idx },
+                queue,
+            );
         }
     }
 
@@ -677,6 +876,18 @@ pub fn simulate_cluster<M: TaskManager>(
     make_manager: impl FnMut(usize) -> M,
 ) -> ClusterOutcome {
     ClusterDriver::new(cfg, make_manager).run(trace)
+}
+
+/// Runs `trace` on a cluster wired with an explicit fabric (custom rack or
+/// group sizes, hand-built graphs) instead of the one `cfg.link.topology`
+/// would derive. Convenience wrapper around [`ClusterDriver::with_fabric`].
+pub fn simulate_cluster_on<M: TaskManager>(
+    trace: &Trace,
+    cfg: &ClusterConfig,
+    fabric: Fabric,
+    make_manager: impl FnMut(usize) -> M,
+) -> ClusterOutcome {
+    ClusterDriver::with_fabric(cfg, fabric, make_manager).run(trace)
 }
 
 #[cfg(test)]
@@ -843,6 +1054,30 @@ mod tests {
         // Three independent chains of 8 tasks × 20 us: nothing may finish
         // before 160 us however the tasks are distributed.
         assert!(out.makespan >= us(160), "{}", out.makespan);
+    }
+
+    #[test]
+    fn stolen_descriptors_jump_blocked_heads_so_chains_cannot_deadlock() {
+        // Regression: a chain-heavy un-hinted trace scattered by XorHash
+        // builds cross-node head-of-line dependency cycles if stolen
+        // descriptors queue behind the thief's own blocked head. They must
+        // enter at the front (they are fully resolved by construction).
+        let trace = distributed::unhinted(&distributed::rack_clustered(
+            2,
+            2,
+            4,
+            8,
+            2.0,
+            0.5,
+            0.2,
+            us(20),
+            3,
+        ));
+        for stealing in StealKind::ALL {
+            let cfg = ClusterConfig::new(4, 2).with_stealing(stealing);
+            let out = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+            assert_eq!(out.tasks, trace.task_count() as u64, "{stealing}");
+        }
     }
 
     #[test]

@@ -1,60 +1,108 @@
-//! The cluster interconnect: a set of [`LinkResource`]s wired per the
-//! configured [`Topology`].
+//! The cluster interconnect: one serializing [`LinkResource`] per link of the
+//! configured [`Fabric`], with store-and-forward multi-hop routing.
+//!
+//! Every message follows its fabric route hop by hop: at each hop it queues
+//! behind earlier traffic on that link, pays `words × per_word` serialization
+//! and then the link's propagation latency before it may enter the next hop.
+//! The sender is free again as soon as the *first* hop has been serialized
+//! (downstream hops are the fabric's problem).
+//!
+//! Hops are driven individually through [`Interconnect::send_hop`]: the
+//! cluster driver relays each message through its event queue, acquiring
+//! every link at the message's *physical arrival time* at that link. Links
+//! are therefore work-conserving FIFOs in arrival order — a message never
+//! waits behind traffic that reaches the link after it does (no non-causal
+//! future reservations). On the degenerate uniform fabrics (`SharedBus` /
+//! `FullMesh`) every route is a single hop, which reproduces the original
+//! uniform interconnect exactly; on tiered fabrics shared trunks contend
+//! across all node pairs that route over them.
 
-use crate::config::{LinkConfig, Topology};
+use crate::config::LinkConfig;
+use crate::outcome::TierStats;
 use nexus_sim::{LinkDelivery, LinkResource, SimDuration, SimTime};
+use nexus_topo::{DistanceMatrix, Fabric};
 
 /// The network connecting the cluster nodes.
 #[derive(Debug, Clone)]
 pub struct Interconnect {
-    topology: Topology,
-    nodes: usize,
-    /// `SharedBus`: one link. `FullMesh`: `nodes × nodes` links indexed
-    /// `from * nodes + to` (the diagonal is never used).
+    fabric: Fabric,
+    /// One serializing wire per fabric link (same indices).
     links: Vec<LinkResource>,
+    distances: DistanceMatrix,
 }
 
 impl Interconnect {
-    /// Builds the interconnect for `nodes` nodes.
+    /// Builds the interconnect for `nodes` nodes from the link configuration
+    /// (the fabric is derived via [`LinkConfig::fabric`]).
     ///
     /// # Panics
     /// Panics if `nodes` is zero.
     pub fn new(nodes: usize, cfg: &LinkConfig) -> Self {
         assert!(nodes > 0, "need at least one node");
-        let count = match cfg.topology {
-            Topology::SharedBus => 1,
-            Topology::FullMesh => nodes * nodes,
-        };
+        Self::with_fabric(cfg.fabric(nodes))
+    }
+
+    /// Builds the interconnect over an explicit fabric (custom rack/group
+    /// sizes, hand-built graphs, …).
+    pub fn with_fabric(fabric: Fabric) -> Self {
+        let links = fabric
+            .links()
+            .iter()
+            .map(|spec| LinkResource::new(spec.latency, spec.per_word))
+            .collect();
+        let distances = fabric.distances();
         Interconnect {
-            topology: cfg.topology,
-            nodes,
-            links: vec![LinkResource::new(cfg.latency, cfg.per_word); count],
+            fabric,
+            links,
+            distances,
         }
     }
 
-    /// Sends a `words`-word message from node `from` to node `to` at `now`.
-    /// Node-local messages (`from == to`) bypass the network entirely.
-    pub fn send(&mut self, from: usize, to: usize, words: u64, now: SimTime) -> LinkDelivery {
-        debug_assert!(from < self.nodes && to < self.nodes);
-        if from == to {
-            return LinkDelivery {
-                sender_free: now,
-                delivered: now,
-            };
-        }
-        let idx = match self.topology {
-            Topology::SharedBus => 0,
-            Topology::FullMesh => from * self.nodes + to,
-        };
-        self.links[idx].send(now, words)
+    /// The fabric this interconnect instantiates.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
     }
 
-    /// Total messages that crossed the network.
+    /// The fabric's distance matrix (precomputed once at construction).
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+
+    /// Number of hops on the route from `from` to `to` (0 for `from == to`).
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        self.fabric.route(from, to).len()
+    }
+
+    /// Serializes a `words`-word message onto hop `hop` of the `from → to`
+    /// route at `now` — the message's physical arrival time at that link.
+    /// Returns when the hop's sender side is free again and when the message
+    /// reaches the far end of the hop (ready to enter hop `hop + 1`, or the
+    /// destination node on the last hop).
+    ///
+    /// Callers must drive hops in arrival-time order (the cluster driver
+    /// relays through its event queue), which keeps every link a causal,
+    /// work-conserving FIFO.
+    pub fn send_hop(
+        &mut self,
+        from: usize,
+        to: usize,
+        hop: usize,
+        words: u64,
+        now: SimTime,
+    ) -> LinkDelivery {
+        debug_assert!(from < self.fabric.nodes() && to < self.fabric.nodes());
+        let route = self.fabric.route(from, to);
+        self.links[route[hop]].send(now, words)
+    }
+
+    /// Total messages that entered a link (multi-hop messages count once per
+    /// hop).
     pub fn messages(&self) -> u64 {
         self.links.iter().map(|l| l.messages()).sum()
     }
 
-    /// Total words that crossed the network.
+    /// Total link-words that crossed the network (multi-hop messages pay
+    /// their words on every hop).
     pub fn words(&self) -> u64 {
         self.links.iter().map(|l| l.words()).sum()
     }
@@ -76,22 +124,74 @@ impl Interconnect {
             .map(|l| l.utilization(horizon))
             .fold(0.0, f64::max)
     }
+
+    /// Traffic aggregated per fabric tier, in tier order (tier 0 first).
+    pub fn tier_stats(&self) -> Vec<TierStats> {
+        (0..self.fabric.tier_count())
+            .map(|tier| {
+                let mut stats = TierStats {
+                    tier,
+                    name: self.fabric.tier_name(tier).to_string(),
+                    links: 0,
+                    messages: 0,
+                    words: 0,
+                    busy_time: SimDuration::ZERO,
+                    wait_time: SimDuration::ZERO,
+                };
+                for (spec, link) in self.fabric.links().iter().zip(&self.links) {
+                    if spec.tier == tier {
+                        stats.links += 1;
+                        stats.messages += link.messages();
+                        stats.words += link.words();
+                        stats.busy_time += link.busy_time();
+                        stats.wait_time += link.wait_time();
+                    }
+                }
+                stats
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Topology;
+    use nexus_topo::{rack_tiers, RACK_TRUNK_LATENCY_X};
 
     fn us(v: u64) -> SimDuration {
         SimDuration::from_us(v)
     }
 
+    /// Walks every hop of one message back to back (no interleaved traffic),
+    /// as the driver's relay events would with an otherwise idle fabric.
+    fn send_alone(
+        net: &mut Interconnect,
+        from: usize,
+        to: usize,
+        words: u64,
+        now: SimTime,
+    ) -> LinkDelivery {
+        let hops = net.hops(from, to);
+        let mut d = LinkDelivery {
+            sender_free: now,
+            delivered: now,
+        };
+        for hop in 0..hops {
+            let h = net.send_hop(from, to, hop, words, d.delivered);
+            if hop == 0 {
+                d.sender_free = h.sender_free;
+            }
+            d.delivered = h.delivered;
+        }
+        d
+    }
+
     #[test]
-    fn local_messages_are_free() {
-        let mut net = Interconnect::new(2, &LinkConfig::ethernet());
-        let now = SimTime::from_ps(123);
-        let d = net.send(1, 1, 1000, now);
-        assert_eq!(d.delivered, now);
+    fn local_routes_have_no_hops() {
+        let net = Interconnect::new(2, &LinkConfig::ethernet());
+        assert_eq!(net.hops(1, 1), 0);
+        assert_eq!(net.hops(0, 1), 1);
         assert_eq!(net.messages(), 0);
     }
 
@@ -103,13 +203,13 @@ mod tests {
             topology: Topology::SharedBus,
         };
         let mut bus = Interconnect::new(4, &cfg);
-        let a = bus.send(0, 1, 5, SimTime::ZERO);
-        let b = bus.send(2, 3, 5, SimTime::ZERO);
+        let a = bus.send_hop(0, 1, 0, 5, SimTime::ZERO);
+        let b = bus.send_hop(2, 3, 0, 5, SimTime::ZERO);
         assert!(b.delivered > a.delivered, "bus traffic must contend");
 
         let mut mesh = Interconnect::new(4, &cfg.with_topology(Topology::FullMesh));
-        let a = mesh.send(0, 1, 5, SimTime::ZERO);
-        let b = mesh.send(2, 3, 5, SimTime::ZERO);
+        let a = mesh.send_hop(0, 1, 0, 5, SimTime::ZERO);
+        let b = mesh.send_hop(2, 3, 0, 5, SimTime::ZERO);
         assert_eq!(a.delivered, b.delivered, "mesh pairs are independent");
         assert_eq!(mesh.messages(), 2);
         assert_eq!(mesh.words(), 10);
@@ -123,8 +223,80 @@ mod tests {
             topology: Topology::FullMesh,
         };
         let mut net = Interconnect::new(2, &cfg);
-        net.send(0, 1, 50, SimTime::ZERO);
+        net.send_hop(0, 1, 0, 50, SimTime::ZERO);
         let horizon = SimTime::from_ps(us(100).as_ps());
         assert!((net.peak_utilization(horizon) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_hop_routes_pay_every_hop_store_and_forward() {
+        // Racks of 2 on 4 nodes; 1 us / 1 us-per-word base links, trunks at
+        // 8 us latency and 4 us per word.
+        let mut net = Interconnect::with_fabric(rack_tiers(4, 2, us(1), us(1)));
+        assert_eq!(net.hops(1, 3), 3);
+        let d = send_alone(&mut net, 1, 3, 2, SimTime::ZERO);
+        // hop 1: serialize 2 us, +1 us latency -> at router 0 at 3 us;
+        // trunk: serialize 2 × 4 = 8 us, + 8 us latency -> at router 2 at 19 us;
+        // hop 3: serialize 2 us, + 1 us latency -> delivered 22 us.
+        assert_eq!(d.sender_free, SimTime::from_ps(us(2).as_ps()));
+        assert_eq!(d.delivered, SimTime::from_ps(us(22).as_ps()));
+        // Three hops counted once each.
+        assert_eq!(net.messages(), 3);
+        assert_eq!(net.words(), 6);
+    }
+
+    #[test]
+    fn shared_trunks_contend_in_arrival_order() {
+        let mut net = Interconnect::with_fabric(rack_tiers(4, 2, SimDuration::ZERO, us(1)));
+        // A (0 -> 2, router to router) takes the trunk at 0 and holds it for
+        // 10 w × 4 us. B (1 -> 3) serializes its first hop 0..10 us and
+        // reaches the trunk at 10 us — it must wait until 40 us, crosses it
+        // by 80 us and lands at 90 us.
+        let a = net.send_hop(0, 2, 0, 10, SimTime::ZERO);
+        assert_eq!(a.delivered, SimTime::from_ps(us(40).as_ps()));
+        let b0 = net.send_hop(1, 3, 0, 10, SimTime::ZERO);
+        assert_eq!(b0.delivered, SimTime::from_ps(us(10).as_ps()));
+        let b1 = net.send_hop(1, 3, 1, 10, b0.delivered);
+        let b2 = net.send_hop(1, 3, 2, 10, b1.delivered);
+        assert_eq!(b2.delivered, SimTime::from_ps(us(90).as_ps()));
+        let tiers = net.tier_stats();
+        assert_eq!(tiers.len(), 2);
+        assert_eq!(tiers[0].name, "intra-rack");
+        assert_eq!(tiers[1].name, "inter-rack");
+        assert_eq!(tiers[1].words, 20, "both messages crossed the trunk tier");
+        assert!(tiers[1].wait_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arrival_order_wins_the_trunk_over_send_order() {
+        // C is *sent* after A but physically reaches the trunk first (A is
+        // still serializing its access hop): the hop-driven model lets C use
+        // the idle trunk instead of queueing it behind A's future arrival.
+        let mut net = Interconnect::with_fabric(rack_tiers(4, 2, SimDuration::ZERO, us(1)));
+        // A: leaf 1 -> leaf 3, sent at 0; its access hop ends at 10 us.
+        let a0 = net.send_hop(1, 3, 0, 10, SimTime::ZERO);
+        // C: router 0 -> router 2 (trunk only), sent at 1 us — trunk idle.
+        let c = net.send_hop(0, 2, 0, 1, SimTime::from_ps(us(1).as_ps()));
+        assert_eq!(c.delivered, SimTime::from_ps(us(5).as_ps()));
+        // A takes the trunk on arrival at 10 us and is not delayed by C.
+        let a1 = net.send_hop(1, 3, 1, 10, a0.delivered);
+        let a2 = net.send_hop(1, 3, 2, 10, a1.delivered);
+        assert_eq!(a2.delivered, SimTime::from_ps(us(60).as_ps()));
+    }
+
+    #[test]
+    fn tier_stats_split_local_and_trunk_traffic() {
+        let mut net = Interconnect::with_fabric(rack_tiers(4, 2, us(1), us(1)));
+        send_alone(&mut net, 0, 1, 7, SimTime::ZERO); // intra-rack only
+        send_alone(&mut net, 0, 2, 5, SimTime::ZERO); // router to router: trunk only
+        let tiers = net.tier_stats();
+        assert_eq!(tiers[0].words, 7);
+        assert_eq!(tiers[1].words, 5);
+        assert_eq!(net.words(), 12);
+        assert_eq!(
+            net.distances().latency(0, 2),
+            us(RACK_TRUNK_LATENCY_X),
+            "distances come from the same fabric"
+        );
     }
 }

@@ -7,12 +7,35 @@ use nexus_sim::stats::LoadBalance;
 use nexus_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// Traffic aggregated over one fabric tier (e.g. all intra-rack links, or
+/// all inter-rack trunks).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TierStats {
+    /// Tier index (0 = most local).
+    pub tier: usize,
+    /// Tier name from the fabric (e.g. `"intra-rack"`, `"inter-rack"`,
+    /// `"global"`, `"hop"`).
+    pub name: String,
+    /// Physical links in the tier.
+    pub links: usize,
+    /// Messages that entered a link of this tier (multi-hop messages count
+    /// once per hop).
+    pub messages: u64,
+    /// Link-words that crossed this tier.
+    pub words: u64,
+    /// Aggregate wire-busy (serialization) time over the tier's links.
+    pub busy_time: SimDuration,
+    /// Aggregate time messages queued behind earlier traffic on this tier.
+    pub wait_time: SimDuration,
+}
+
 /// Aggregate interconnect traffic of one cluster run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinkStats {
-    /// Messages that crossed the network (descriptors + notifications).
+    /// Messages that entered a link (multi-hop messages count once per hop).
     pub messages: u64,
-    /// 32-bit words that crossed the network.
+    /// 32-bit link-words that crossed the network (multi-hop messages pay
+    /// their words on every hop).
     pub words: u64,
     /// Aggregate wire-busy (serialization) time over all links.
     pub busy_time: SimDuration,
@@ -20,6 +43,21 @@ pub struct LinkStats {
     pub wait_time: SimDuration,
     /// Utilization of the busiest link over the makespan.
     pub peak_utilization: f64,
+    /// Per-tier traffic, in tier order (tier 0 first). Uniform fabrics have
+    /// exactly one tier.
+    pub per_tier: Vec<TierStats>,
+}
+
+impl LinkStats {
+    /// Link-words that crossed the tier called `name`, 0 if the fabric has no
+    /// such tier (e.g. `tier_words("inter-rack")` on a full mesh).
+    pub fn tier_words(&self, name: &str) -> u64 {
+        self.per_tier
+            .iter()
+            .filter(|t| t.name == name)
+            .map(|t| t.words)
+            .sum()
+    }
 }
 
 /// The result of one multi-node cluster simulation.
@@ -33,6 +71,9 @@ pub struct ClusterOutcome {
     pub placement: String,
     /// Name of the work-stealing policy (`"off"` when disabled).
     pub stealing: String,
+    /// Name of the interconnect fabric the run was wired with (includes the
+    /// derived shape, e.g. `"racktiers-r2"`).
+    pub topology: String,
     /// Number of nodes simulated.
     pub nodes: usize,
     /// Worker cores per node.
@@ -125,6 +166,7 @@ mod tests {
             manager: "test".into(),
             placement: "xorhash".into(),
             stealing: "off".into(),
+            topology: "mesh".into(),
             nodes: 2,
             workers_per_node: 4,
             makespan: SimDuration::from_us(makespan_us),
@@ -145,6 +187,26 @@ mod tests {
                 busy_time: SimDuration::ZERO,
                 wait_time: SimDuration::ZERO,
                 peak_utilization: 0.0,
+                per_tier: vec![
+                    TierStats {
+                        tier: 0,
+                        name: "intra-rack".into(),
+                        links: 4,
+                        messages: 2,
+                        words: 4,
+                        busy_time: SimDuration::ZERO,
+                        wait_time: SimDuration::ZERO,
+                    },
+                    TierStats {
+                        tier: 1,
+                        name: "inter-rack".into(),
+                        links: 2,
+                        messages: 1,
+                        words: 2,
+                        busy_time: SimDuration::ZERO,
+                        wait_time: SimDuration::ZERO,
+                    },
+                ],
             },
             max_pending_depth: 1,
         }
@@ -163,5 +225,13 @@ mod tests {
     fn zero_makespan_is_benign() {
         let o = outcome(0, 0);
         assert_eq!(o.speedup(), 0.0);
+    }
+
+    #[test]
+    fn tier_words_sum_by_name_and_ignore_missing_tiers() {
+        let o = outcome(10, 10);
+        assert_eq!(o.link.tier_words("intra-rack"), 4);
+        assert_eq!(o.link.tier_words("inter-rack"), 2);
+        assert_eq!(o.link.tier_words("global"), 0);
     }
 }

@@ -11,11 +11,16 @@
 //! * [`PlacementPolicy`] — which node a submitted task calls home. Built-ins:
 //!   [`XorHash`] (affinity hint, then the paper's XOR distribution function —
 //!   the original cluster routing), [`AffinityFirst`] (hint, then least
-//!   loaded) and [`LocalityAware`] (hint, then greedy remote-edge
-//!   minimization over the dependence census).
+//!   loaded), [`LocalityAware`] (hint, then greedy remote-edge minimization
+//!   over the dependence census) and [`TopologyAware`] (hint, then
+//!   distance-weighted edge-cost minimization over the fabric's
+//!   `nexus-topo` [`DistanceMatrix`](nexus_topo::DistanceMatrix)).
 //! * [`StealPolicy`] — whether an idle node pulls pending descriptors from a
 //!   loaded neighbour, paying the descriptor re-forwarding cost over the
-//!   interconnect. Built-ins: [`NoStealing`] and [`StealMostLoaded`].
+//!   interconnect. Built-ins: [`NoStealing`], [`StealMostLoaded`],
+//!   [`StealHalf`] (adaptive half-backlog batches) and [`HierarchicalSteal`]
+//!   (nearest-tier victims first, escalating only when the near tier has
+//!   nothing eligible).
 //!
 //! Both are selected through `ClusterConfig` (see `nexus-cluster`) via the
 //! serializable [`PolicyKind`] / [`StealKind`] handles, whose `FromStr`
@@ -31,7 +36,7 @@
 //! let mut policy = "Locality".parse::<PolicyKind>().unwrap().build();
 //! let loads = vec![PlacedLoad::default(); 2];
 //! let consumer = TaskDescriptor::builder(7).input(0x100).output(0x200).build();
-//! let ctx = PlacementCtx { nodes: 2, loads: &loads, producer_homes: &[1] };
+//! let ctx = PlacementCtx { nodes: 2, loads: &loads, producer_homes: &[1], distances: None };
 //! // The consumer's only producer lives on node 1: keep the edge local.
 //! assert_eq!(policy.place(&consumer, &ctx), 1);
 //! ```
@@ -43,9 +48,11 @@ pub mod steal;
 
 pub use place::{
     primary_addr, xor_home, AffinityFirst, LocalityAware, PlacedLoad, PlacementCtx,
-    PlacementPolicy, PolicyKind, XorHash,
+    PlacementPolicy, PolicyKind, TopologyAware, XorHash,
 };
-pub use steal::{NoStealing, NodeLoad, StealKind, StealMostLoaded, StealPolicy};
+pub use steal::{
+    HierarchicalSteal, NoStealing, NodeLoad, StealHalf, StealKind, StealMostLoaded, StealPolicy,
+};
 
 /// Convenience prelude.
 pub mod prelude {

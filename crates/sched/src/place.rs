@@ -17,7 +17,13 @@
 //! * [`LocalityAware`] — honour the affinity hint, otherwise greedily place
 //!   each task with the majority of its last-writer producers (minimizing the
 //!   remote-edge fraction of un-hinted traces), breaking ties toward the
-//!   least-loaded node.
+//!   least-loaded node,
+//! * [`TopologyAware`] — honour the affinity hint, otherwise minimize the
+//!   *distance-weighted* cost of the task's producer edges over the fabric's
+//!   [`DistanceMatrix`] (`nexus-topo`): a producer one rack over weighs more
+//!   than one next door, so the placement prefers keeping dependence chains
+//!   not merely node-local but *near* — same rack, adjacent torus column —
+//!   when they cannot stay local.
 //!
 //! All policies honour explicit affinity hints: a hint is the programmer's
 //! (or trace generator's) domain decomposition, and overriding it would break
@@ -25,6 +31,7 @@
 
 use nexus_core::distribution::xor_hash_tg;
 use nexus_sim::SimDuration;
+use nexus_topo::DistanceMatrix;
 use nexus_trace::TaskDescriptor;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -49,6 +56,10 @@ pub struct PlacementCtx<'a> {
     /// Home nodes of the task's distinct last-writer producers, in producer
     /// submission order (the dependence census for this task).
     pub producer_homes: &'a [usize],
+    /// Distance matrix of the interconnect fabric, when one is configured.
+    /// `None` means uniform wiring — distance-aware policies fall back to
+    /// counting remote edges.
+    pub distances: Option<&'a DistanceMatrix>,
 }
 
 impl PlacementCtx<'_> {
@@ -84,6 +95,7 @@ impl PlacementCtx<'_> {
 ///     nodes: 4,
 ///     loads: &loads,
 ///     producer_homes: homes,
+///     distances: None,
 /// };
 ///
 /// // XorHash ignores the census entirely …
@@ -155,6 +167,52 @@ impl PlacementPolicy for AffinityFirst {
     }
 }
 
+/// Affinity hint first; otherwise minimize distance-weighted producer cost.
+///
+/// An un-hinted task is placed on the node `n` minimizing
+/// `Σ_h weight(h, n)` over its last-writer producer homes `h`, where the
+/// weight is the fabric's [`DistanceMatrix::weight`] (route latency plus hop
+/// count). Keeping an edge node-local costs nothing; keeping it within the
+/// rack costs little; sending it over an inter-rack trunk costs a lot — so
+/// chains that cannot stay on one node stay *near*. Ties (including the
+/// no-producer case — root tasks) fall to the least-loaded node, which keeps
+/// the placement from collapsing onto one node.
+///
+/// Without a configured fabric (`ctx.distances == None`) every remote node is
+/// equidistant and the policy decays to exactly [`LocalityAware`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopologyAware;
+
+impl PlacementPolicy for TopologyAware {
+    fn name(&self) -> &'static str {
+        "topo"
+    }
+
+    fn place(&mut self, task: &TaskDescriptor, ctx: &PlacementCtx<'_>) -> usize {
+        if let Some(hint) = task.home_node(ctx.nodes) {
+            return hint;
+        }
+        if ctx.producer_homes.is_empty() {
+            return ctx.least_loaded();
+        }
+        let Some(d) = ctx.distances else {
+            // Uniform wiring: distance-weighting degenerates to remote-edge
+            // counting, which is LocalityAware verbatim.
+            return LocalityAware.place(task, ctx);
+        };
+        (0..ctx.nodes)
+            .min_by_key(|&n| {
+                let cost: u128 = ctx
+                    .producer_homes
+                    .iter()
+                    .map(|&h| d.weight(h, n) as u128)
+                    .sum();
+                (cost, ctx.loads[n].work, ctx.loads[n].tasks, n)
+            })
+            .unwrap_or(0)
+    }
+}
+
 /// Affinity hint first; otherwise greedy remote-edge minimization.
 ///
 /// An un-hinted task is placed on the node where the most of its last-writer
@@ -202,18 +260,21 @@ pub enum PolicyKind {
     AffinityFirst,
     /// [`LocalityAware`].
     LocalityAware,
+    /// [`TopologyAware`].
+    TopologyAware,
 }
 
 impl PolicyKind {
     /// Every selectable policy, in display order.
-    pub const ALL: [PolicyKind; 3] = [
+    pub const ALL: [PolicyKind; 4] = [
         PolicyKind::XorHash,
         PolicyKind::AffinityFirst,
         PolicyKind::LocalityAware,
+        PolicyKind::TopologyAware,
     ];
 
     /// The accepted (lower-case canonical) spellings, for error messages.
-    pub const VALID: &'static str = "xorhash|affinity|locality";
+    pub const VALID: &'static str = "xorhash|affinity|locality|topo";
 
     /// Instantiates the policy.
     pub fn build(self) -> Box<dyn PlacementPolicy> {
@@ -221,6 +282,7 @@ impl PolicyKind {
             PolicyKind::XorHash => Box::new(XorHash),
             PolicyKind::AffinityFirst => Box::new(AffinityFirst),
             PolicyKind::LocalityAware => Box::new(LocalityAware),
+            PolicyKind::TopologyAware => Box::new(TopologyAware),
         }
     }
 
@@ -230,6 +292,7 @@ impl PolicyKind {
             PolicyKind::XorHash => "xorhash",
             PolicyKind::AffinityFirst => "affinity",
             PolicyKind::LocalityAware => "locality",
+            PolicyKind::TopologyAware => "topo",
         }
     }
 }
@@ -250,6 +313,9 @@ impl FromStr for PolicyKind {
             "xorhash" | "xor" | "xor-hash" => Ok(PolicyKind::XorHash),
             "affinity" | "affinityfirst" | "affinity-first" => Ok(PolicyKind::AffinityFirst),
             "locality" | "localityaware" | "locality-aware" => Ok(PolicyKind::LocalityAware),
+            "topo" | "topology" | "topologyaware" | "topology-aware" => {
+                Ok(PolicyKind::TopologyAware)
+            }
             other => Err(format!(
                 "unknown placement policy {other:?} (expected {})",
                 Self::VALID
@@ -267,6 +333,7 @@ mod tests {
             nodes: loads.len(),
             loads,
             producer_homes: homes,
+            distances: None,
         }
     }
 
@@ -318,6 +385,51 @@ mod tests {
         assert_eq!(p.place(&task(1, 0x10), &ctx(&l2, &[1, 3])), 3);
         // Roots spread to the least-loaded node.
         assert_eq!(p.place(&task(2, 0x10), &ctx(&l2, &[])), 0);
+    }
+
+    #[test]
+    fn topology_aware_without_a_fabric_matches_locality() {
+        let loads = vec![PlacedLoad::default(); 4];
+        let mut topo = TopologyAware;
+        let mut loc = LocalityAware;
+        for id in 0..32 {
+            let t = task(id, id * 0x51D3);
+            let homes = [(id as usize) % 4, (id as usize / 2) % 4];
+            assert_eq!(
+                topo.place(&t, &ctx(&loads, &homes)),
+                loc.place(&t, &ctx(&loads, &homes)),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_aware_prefers_the_near_tier() {
+        // Racks of 2 on 4 nodes: {0,1} and {2,3}. Producers on 0 and 2: a
+        // uniform-distance policy sees a tie; the rack fabric makes node 0 (or
+        // 2) strictly cheaper than the cross-rack leaves 1 and 3.
+        let fabric =
+            nexus_topo::rack_tiers(4, 2, SimDuration::from_us(1), SimDuration::from_ns(10));
+        let d = fabric.distances();
+        let loads = vec![PlacedLoad::default(); 4];
+        let mut p = TopologyAware;
+        let mut c = ctx(&loads, &[0, 0, 2]);
+        c.distances = Some(&d);
+        // Two producers on node 0, one on node 2: node 0 wins outright.
+        assert_eq!(p.place(&task(0, 0x10), &c), 0);
+        // Producers split 0/2: nodes 0 and 2 tie on cost (one trunk edge
+        // each); leaves 1 and 3 pay an extra intra-rack hop. Tie falls to the
+        // lower index.
+        let mut c = ctx(&loads, &[0, 2]);
+        c.distances = Some(&d);
+        assert_eq!(p.place(&task(1, 0x10), &c), 0);
+        // Load breaks the tie toward the emptier rack peer.
+        let mut l2 = loads.clone();
+        l2[0].work = SimDuration::from_us(50);
+        l2[0].tasks = 1;
+        let mut c = ctx(&l2, &[0, 2]);
+        c.distances = Some(&d);
+        assert_eq!(p.place(&task(2, 0x10), &c), 2);
     }
 
     #[test]

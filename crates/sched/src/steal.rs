@@ -12,7 +12,17 @@
 //! at the victim's input processor (not yet handed to its manager) with every
 //! last-writer producer already retired, so the stolen task can execute
 //! anywhere without waiting on further notifications.
+//!
+//! On a non-uniform fabric (`nexus-topo`), victim choice and batch size both
+//! matter more: a cross-rack steal pays the trunk's latency and bandwidth per
+//! stolen descriptor. [`HierarchicalSteal`] therefore escalates victims
+//! bucket by bucket in `(tier, hops)` distance order — same-rack victims
+//! first, the far tier only when nothing near has eligible backlog — and both
+//! it and [`StealHalf`] size the batch from the *victim's* backlog (steal
+//! half of it) instead of the thief's free-worker count, amortizing the
+//! per-steal transfer cost.
 
+use nexus_topo::DistanceMatrix;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -62,10 +72,34 @@ pub trait StealPolicy {
     /// snapshot, or `None` to stay idle. Victims must have `stealable > 0`.
     fn choose_victim(&mut self, thief: usize, loads: &[NodeLoad]) -> Option<usize>;
 
+    /// Chooses a victim with the interconnect's distance matrix in hand.
+    /// Drivers with a configured fabric call this entry point; the default
+    /// ignores the distances and defers to [`choose_victim`](Self::choose_victim)
+    /// (flat victim selection).
+    fn choose_victim_tiered(
+        &mut self,
+        thief: usize,
+        loads: &[NodeLoad],
+        distances: Option<&DistanceMatrix>,
+    ) -> Option<usize> {
+        let _ = distances;
+        self.choose_victim(thief, loads)
+    }
+
     /// Maximum number of descriptors to request in one steal, given the
     /// thief's free worker count. Defaults to one per free worker.
     fn batch(&self, free_workers: usize) -> usize {
         free_workers.max(1)
+    }
+
+    /// Maximum number of descriptors to hand over in one steal, given the
+    /// thief's free worker count and the victim's eligible backlog at grant
+    /// time. The default ignores the backlog and defers to
+    /// [`batch`](Self::batch); adaptive policies override it to scale with
+    /// the victim's backlog instead.
+    fn batch_for(&self, free_workers: usize, victim_stealable: usize) -> usize {
+        let _ = victim_stealable;
+        self.batch(free_workers)
     }
 }
 
@@ -107,6 +141,92 @@ impl StealPolicy for StealMostLoaded {
     }
 }
 
+/// Steal-half with most-loaded victim selection: the victim hands over half
+/// of its eligible backlog (⌈stealable/2⌉) instead of one descriptor per free
+/// thief worker.
+///
+/// The classic steal-half rule: with a fixed free-worker batch a thief with 2
+/// free cores nibbles 2 descriptors off a 40-deep backlog and immediately
+/// goes idle again, paying a full request/transfer round-trip per nibble.
+/// Halving the backlog moves the imbalance in O(log n) steals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealHalf;
+
+/// ⌈`stealable` / 2⌉, at least one — the shared adaptive batch rule.
+fn half_backlog(stealable: usize) -> usize {
+    stealable.div_ceil(2).max(1)
+}
+
+impl StealPolicy for StealHalf {
+    fn name(&self) -> &'static str {
+        "steal-half"
+    }
+
+    fn choose_victim(&mut self, thief: usize, loads: &[NodeLoad]) -> Option<usize> {
+        StealMostLoaded.choose_victim(thief, loads)
+    }
+
+    fn batch_for(&self, _free_workers: usize, victim_stealable: usize) -> usize {
+        half_backlog(victim_stealable)
+    }
+}
+
+/// Hierarchical victim selection for tiered fabrics: victims are bucketed by
+/// their `(tier, hops)` victim→thief distance (the fabric's
+/// [`DistanceMatrix`], measured in the direction the stolen descriptors will
+/// travel) and the nearest non-empty bucket wins — steal from the
+/// same rack while it has eligible backlog, escalate to the next tier only
+/// when everything nearer is drained. Within a bucket the largest eligible
+/// backlog wins, ties toward the lowest node index. Batches use the
+/// steal-half rule (cross-tier steals are expensive; amortize them).
+///
+/// Without a distance matrix (uniform wiring) the policy is exactly
+/// [`StealMostLoaded`] with steal-half batching.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchicalSteal;
+
+impl StealPolicy for HierarchicalSteal {
+    fn name(&self) -> &'static str {
+        "hier"
+    }
+
+    fn choose_victim(&mut self, thief: usize, loads: &[NodeLoad]) -> Option<usize> {
+        StealMostLoaded.choose_victim(thief, loads)
+    }
+
+    fn choose_victim_tiered(
+        &mut self,
+        thief: usize,
+        loads: &[NodeLoad],
+        distances: Option<&DistanceMatrix>,
+    ) -> Option<usize> {
+        let Some(d) = distances else {
+            return self.choose_victim(thief, loads);
+        };
+        // Distance is measured victim → thief: that is the direction the
+        // expensive payload (the stolen descriptors) actually travels. On
+        // every built-in fabric routes are symmetric, but hand-built fabrics
+        // may not be.
+        loads
+            .iter()
+            .enumerate()
+            .filter(|&(n, l)| n != thief && l.stealable > 0)
+            .min_by_key(|&(n, l)| {
+                (
+                    d.tier(n, thief),
+                    d.hops(n, thief),
+                    u64::MAX - l.stealable as u64,
+                    n,
+                )
+            })
+            .map(|(n, _)| n)
+    }
+
+    fn batch_for(&self, _free_workers: usize, victim_stealable: usize) -> usize {
+        half_backlog(victim_stealable)
+    }
+}
+
 /// Selectable steal policies (the `ClusterConfig` / env handle for the
 /// built-in [`StealPolicy`] implementations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -116,20 +236,31 @@ pub enum StealKind {
     Disabled,
     /// [`StealMostLoaded`].
     MostLoaded,
+    /// [`StealHalf`].
+    Half,
+    /// [`HierarchicalSteal`].
+    Hierarchical,
 }
 
 impl StealKind {
     /// Every selectable steal policy, in display order.
-    pub const ALL: [StealKind; 2] = [StealKind::Disabled, StealKind::MostLoaded];
+    pub const ALL: [StealKind; 4] = [
+        StealKind::Disabled,
+        StealKind::MostLoaded,
+        StealKind::Half,
+        StealKind::Hierarchical,
+    ];
 
     /// The accepted (lower-case canonical) spellings, for error messages.
-    pub const VALID: &'static str = "off|steal";
+    pub const VALID: &'static str = "off|steal|steal-half|hier";
 
     /// Instantiates the policy.
     pub fn build(self) -> Box<dyn StealPolicy> {
         match self {
             StealKind::Disabled => Box::new(NoStealing),
             StealKind::MostLoaded => Box::new(StealMostLoaded),
+            StealKind::Half => Box::new(StealHalf),
+            StealKind::Hierarchical => Box::new(HierarchicalSteal),
         }
     }
 
@@ -144,6 +275,8 @@ impl StealKind {
         match self {
             StealKind::Disabled => "off",
             StealKind::MostLoaded => "steal",
+            StealKind::Half => "steal-half",
+            StealKind::Hierarchical => "hier",
         }
     }
 }
@@ -162,6 +295,8 @@ impl FromStr for StealKind {
         match s.trim().to_ascii_lowercase().as_str() {
             "off" | "none" | "disabled" | "0" => Ok(StealKind::Disabled),
             "steal" | "on" | "mostloaded" | "most-loaded" | "1" => Ok(StealKind::MostLoaded),
+            "steal-half" | "stealhalf" | "half" => Ok(StealKind::Half),
+            "hier" | "hierarchical" | "hierarchy" => Ok(StealKind::Hierarchical),
             other => Err(format!(
                 "unknown steal policy {other:?} (expected {})",
                 Self::VALID
@@ -219,6 +354,83 @@ mod tests {
     }
 
     #[test]
+    fn steal_half_scales_the_batch_with_the_victim_backlog() {
+        let p = StealHalf;
+        assert_eq!(p.batch_for(2, 40), 20);
+        assert_eq!(p.batch_for(8, 3), 2);
+        assert_eq!(p.batch_for(8, 1), 1);
+        assert_eq!(p.batch_for(8, 0), 1, "grant paths clamp to the backlog");
+        // Victim choice is most-loaded.
+        let mut loads = vec![NodeLoad::default(); 3];
+        loads[2].stealable = 7;
+        assert_eq!(StealHalf.choose_victim(0, &loads), Some(2));
+        // The flat default batch (no backlog info) stays worker-sized.
+        assert_eq!(p.batch(3), 3);
+    }
+
+    #[test]
+    fn hierarchical_prefers_the_near_tier_and_escalates_when_it_drains() {
+        // Racks of 2 on 4 nodes: {0,1} and {2,3}.
+        let d = nexus_topo::rack_tiers(
+            4,
+            2,
+            nexus_sim::SimDuration::from_us(1),
+            nexus_sim::SimDuration::from_ns(10),
+        )
+        .distances();
+        let mut p = HierarchicalSteal;
+        let mut loads = vec![NodeLoad::default(); 4];
+        loads[1].stealable = 2;
+        loads[3].stealable = 50;
+        // Node 0 steals from its rack peer even though node 3 is far fuller.
+        assert_eq!(p.choose_victim_tiered(0, &loads, Some(&d)), Some(1));
+        // Once the near tier is drained, escalate across the trunk.
+        loads[1].stealable = 0;
+        assert_eq!(p.choose_victim_tiered(0, &loads, Some(&d)), Some(3));
+        // Without distances the policy is flat most-loaded.
+        loads[2].stealable = 10;
+        assert_eq!(p.choose_victim_tiered(0, &loads, None), Some(3));
+        assert_eq!(p.batch_for(1, 9), 5, "steal-half batching");
+
+        // Within one distance bucket the bigger backlog wins: on 8 nodes in
+        // racks of 2, the foreign rack routers 2, 4 and 6 are all one trunk
+        // hop from node 0.
+        let d8 = nexus_topo::rack_tiers(
+            8,
+            2,
+            nexus_sim::SimDuration::from_us(1),
+            nexus_sim::SimDuration::from_ns(10),
+        )
+        .distances();
+        let mut loads = vec![NodeLoad::default(); 8];
+        loads[2].stealable = 10;
+        loads[4].stealable = 50;
+        assert_eq!(p.choose_victim_tiered(0, &loads, Some(&d8)), Some(4));
+        loads[2].stealable = 50; // tie on backlog: lowest index
+        assert_eq!(p.choose_victim_tiered(0, &loads, Some(&d8)), Some(2));
+    }
+
+    #[test]
+    fn flat_policies_ignore_the_distance_matrix() {
+        let d = nexus_topo::rack_tiers(
+            4,
+            2,
+            nexus_sim::SimDuration::from_us(1),
+            nexus_sim::SimDuration::from_ns(10),
+        )
+        .distances();
+        let mut loads = vec![NodeLoad::default(); 4];
+        loads[1].stealable = 2;
+        loads[3].stealable = 50;
+        // StealMostLoaded crosses the trunk for the bigger backlog.
+        assert_eq!(
+            StealMostLoaded.choose_victim_tiered(0, &loads, Some(&d)),
+            Some(3)
+        );
+        assert_eq!(NoStealing.choose_victim_tiered(0, &loads, Some(&d)), None);
+    }
+
+    #[test]
     fn kind_parsing_is_case_insensitive_with_clear_errors() {
         assert_eq!("OFF".parse::<StealKind>().unwrap(), StealKind::Disabled);
         assert_eq!("Steal".parse::<StealKind>().unwrap(), StealKind::MostLoaded);
@@ -226,15 +438,24 @@ mod tests {
             "Most-Loaded".parse::<StealKind>().unwrap(),
             StealKind::MostLoaded
         );
+        assert_eq!("Steal-Half".parse::<StealKind>().unwrap(), StealKind::Half);
+        assert_eq!(
+            "Hierarchical".parse::<StealKind>().unwrap(),
+            StealKind::Hierarchical
+        );
         let err = "stea1".parse::<StealKind>().unwrap_err();
-        assert!(err.contains("off|steal"), "{err}");
+        assert!(err.contains("off|steal|steal-half|hier"), "{err}");
         for kind in StealKind::ALL {
             assert_eq!(kind.name().parse::<StealKind>().unwrap(), kind);
         }
         assert_eq!(StealKind::default(), StealKind::Disabled);
         assert!(!StealKind::Disabled.is_enabled());
         assert!(StealKind::MostLoaded.is_enabled());
+        assert!(StealKind::Half.is_enabled());
+        assert!(StealKind::Hierarchical.is_enabled());
         assert_eq!(StealKind::MostLoaded.build().name(), "most-loaded");
         assert_eq!(StealKind::Disabled.build().name(), "none");
+        assert_eq!(StealKind::Half.build().name(), "steal-half");
+        assert_eq!(StealKind::Hierarchical.build().name(), "hier");
     }
 }

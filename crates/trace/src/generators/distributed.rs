@@ -232,6 +232,145 @@ pub fn wavefront(
     )
 }
 
+/// A rack-clustered workload whose dependence structure matches (or
+/// deliberately fights) a two-tier fabric.
+///
+/// The cluster has `racks × nodes_per_rack` nodes, numbered rack-major so
+/// rack `r` owns nodes `r * nodes_per_rack ..` — the same layout
+/// `nexus-topo`'s `RackTiers` fabric uses. Each node owns `chains` dependence
+/// chains of `chain_len` tasks over *distinct* addresses in the node's
+/// private band (so an address hash scatters the links, while a
+/// dependence-following placement can keep each chain on one node); the
+/// first node of every rack owns `skew`× the chains — the deliberately
+/// overloaded domain that work stealing must drain toward its rack peers.
+///
+/// With probability `coupling`, a task additionally reads the most recently
+/// written address of a *donor* node: a same-rack neighbour with probability
+/// `1 - cross_rack`, a node in a foreign rack with probability `cross_rack`.
+/// At `cross_rack = 0` every coupled edge stays inside a rack (the trace
+/// matches the fabric); at `cross_rack = 1` every coupled edge crosses racks
+/// (the trace fights it, making tiered fabrics degrade vs. a full mesh).
+///
+/// Every task carries an affinity hint naming its node; strip them with
+/// [`unhinted`] to hand the clustering problem to the placement policy.
+/// Submissions interleave round-robin across nodes. Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `racks`, `nodes_per_rack`, `chains` or `chain_len` is zero, or
+/// `skew < 1`.
+#[allow(clippy::too_many_arguments)]
+pub fn rack_clustered(
+    racks: usize,
+    nodes_per_rack: usize,
+    chains: u64,
+    chain_len: u64,
+    skew: f64,
+    coupling: f64,
+    cross_rack: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> Trace {
+    assert!(racks > 0, "need at least one rack");
+    assert!(nodes_per_rack > 0, "need at least one node per rack");
+    assert!(
+        chains > 0 && chain_len > 0,
+        "need at least one task per node"
+    );
+    assert!(
+        skew.is_finite() && skew >= 1.0,
+        "skew must be a finite factor >= 1 (got {skew})"
+    );
+    let nodes = racks * nodes_per_rack;
+    let coupling = if coupling.is_finite() {
+        coupling.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let cross_rack = if cross_rack.is_finite() {
+        cross_rack.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+
+    // Per-node task streams: `chains` chains of `chain_len` tasks over
+    // distinct addresses (chain-major order).
+    let mut streams: Vec<std::collections::VecDeque<TaskDescriptor>> = (0..nodes)
+        .map(|node| {
+            let node_chains = if node.is_multiple_of(nodes_per_rack) {
+                ((chains as f64 * skew).round() as u64).max(1)
+            } else {
+                chains
+            };
+            let band = node as u64 * NODE_ADDR_STRIDE;
+            let mut out = std::collections::VecDeque::new();
+            for c in 0..node_chains {
+                for j in 0..chain_len {
+                    let addr = (band + (c * chain_len + j + 1) * 0x40) & ADDR_MASK_48;
+                    let mut b = TaskDescriptor::builder(0).duration(duration);
+                    if j > 0 {
+                        let prev = (band + (c * chain_len + j) * 0x40) & ADDR_MASK_48;
+                        b = b.input(prev);
+                    }
+                    out.push_back(b.output(addr).affinity(node as u32).build());
+                }
+            }
+            out
+        })
+        .collect();
+
+    let mut rng = SimRng::new(seed ^ 0x7AC7_0000_0000_0003);
+    let mut last_written: Vec<Option<u64>> = vec![None; nodes];
+    let mut b = TraceBuilder::new(format!(
+        "dist-rack-{racks}x{nodes_per_rack}-s{skew:.1}-c{:.0}-x{:.0}",
+        coupling * 100.0,
+        cross_rack * 100.0
+    ));
+
+    while streams.iter().any(|s| !s.is_empty()) {
+        for node in 0..nodes {
+            let Some(mut task) = streams[node].pop_front() else {
+                continue;
+            };
+            if rng.next_f64() < coupling {
+                let rack = node / nodes_per_rack;
+                let donor = if racks > 1 && rng.next_f64() < cross_rack {
+                    // A node in a foreign rack, uniform over the other racks.
+                    let fr = {
+                        let r = rng.next_below(racks as u64 - 1) as usize;
+                        if r >= rack {
+                            r + 1
+                        } else {
+                            r
+                        }
+                    };
+                    Some(fr * nodes_per_rack + rng.next_below(nodes_per_rack as u64) as usize)
+                } else if nodes_per_rack > 1 {
+                    // A same-rack neighbour other than this node.
+                    let m = rng.next_below(nodes_per_rack as u64 - 1) as usize;
+                    let m = if m >= node % nodes_per_rack { m + 1 } else { m };
+                    Some(rack * nodes_per_rack + m)
+                } else {
+                    None // a one-node rack has no intra-rack donor
+                };
+                if let Some(addr) = donor.and_then(|d| last_written[d]) {
+                    if task.params.iter().all(|p| p.addr != addr) {
+                        task.params.push(TaskParam::input(addr));
+                    }
+                }
+            }
+            if let Some(w) = task.outputs().last() {
+                last_written[node] = Some(w.addr);
+            }
+            b.submit_with(|id| {
+                task.id = id;
+                task
+            });
+        }
+    }
+    b.taskwait();
+    b.finish()
+}
+
 fn dist_name(base: &str, nodes: usize, remote_fraction: f64) -> String {
     format!(
         "dist-{base}-{nodes}n-r{:.0}",
@@ -359,6 +498,86 @@ mod tests {
             assert_eq!(a.params, b.params);
             assert_eq!(a.duration, b.duration);
         }
+    }
+
+    #[test]
+    fn rack_clustered_respects_bands_skew_and_rack_structure() {
+        let d = SimDuration::from_us(20);
+        // 2 racks x 2 nodes, 3 chains of 4 tasks, first-of-rack 2x skew.
+        let t = rack_clustered(2, 2, 3, 4, 2.0, 0.0, 0.0, d, 7);
+        t.validate().unwrap();
+        let mut per_node = vec![0u64; 4];
+        for task in t.tasks() {
+            let node = task.affinity.expect("every task carries an affinity") as usize;
+            per_node[node] += 1;
+            // Uncoupled: every address stays in the node's band.
+            for p in &task.params {
+                assert_eq!(band(p.addr), node as u64, "{}: foreign address", task.id);
+            }
+        }
+        // Rack heads (nodes 0 and 2) own 2x the chains.
+        assert_eq!(per_node, vec![24, 12, 24, 12]);
+        // Deterministic.
+        let again = rack_clustered(2, 2, 3, 4, 2.0, 0.0, 0.0, d, 7);
+        assert_eq!(t.ops, again.ops);
+        assert_eq!(t.name, "dist-rack-2x2-s2.0-c0-x0");
+    }
+
+    #[test]
+    fn rack_clustered_coupling_targets_the_requested_tier() {
+        let d = SimDuration::from_us(20);
+        let rack_of = |addr: u64| band(addr) / 2; // 2 nodes per rack
+        let edge_kinds = |t: &Trace| {
+            // (intra-rack cross-node reads, cross-rack reads)
+            let mut intra = 0usize;
+            let mut cross = 0usize;
+            for task in t.tasks() {
+                let home = band(task.params[0].addr);
+                for p in &task.params {
+                    if band(p.addr) != home {
+                        if rack_of(p.addr) == home / 2 {
+                            intra += 1;
+                        } else {
+                            cross += 1;
+                        }
+                    }
+                }
+            }
+            (intra, cross)
+        };
+        let matched = rack_clustered(2, 2, 4, 4, 1.0, 1.0, 0.0, d, 9);
+        let (intra, cross) = edge_kinds(&matched);
+        assert!(intra > 0);
+        assert_eq!(cross, 0, "cross_rack = 0 must stay inside the racks");
+
+        let fighting = rack_clustered(2, 2, 4, 4, 1.0, 1.0, 1.0, d, 9);
+        let (intra, cross) = edge_kinds(&fighting);
+        assert_eq!(intra, 0, "cross_rack = 1 must always leave the rack");
+        assert!(cross > fighting.task_count() / 2);
+
+        let uncoupled = rack_clustered(2, 2, 4, 4, 1.0, 0.0, 1.0, d, 9);
+        let (intra, cross) = edge_kinds(&uncoupled);
+        assert_eq!((intra, cross), (0, 0), "no coupling, no halo reads");
+    }
+
+    #[test]
+    fn rack_clustered_chains_link_through_distinct_addresses() {
+        let t = rack_clustered(1, 2, 2, 5, 1.0, 0.0, 0.0, SimDuration::from_us(10), 3);
+        // Within a node, outputs are all distinct (an address hash scatters
+        // them) while chain inputs reference the previous output.
+        let mut outputs = std::collections::HashSet::new();
+        for task in t.tasks() {
+            for p in task.outputs() {
+                assert!(outputs.insert(p.addr), "duplicate output {:#x}", p.addr);
+            }
+        }
+        assert_eq!(t.task_count(), 2 * 2 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be")]
+    fn rack_clustered_rejects_sub_unit_skew() {
+        let _ = rack_clustered(2, 2, 2, 2, 0.5, 0.0, 0.0, SimDuration::from_us(1), 1);
     }
 
     #[test]

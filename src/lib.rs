@@ -15,6 +15,7 @@
 //! | [`sharp`] | `nexus-core` | **Nexus#**, the distributed manager (§IV) |
 //! | [`nanos`] | `nexus-nanos` | the software runtime (Nanos) cost model |
 //! | [`host`] | `nexus-host` | the simulated multicore host / testbench (§V) |
+//! | [`topo`] | `nexus-topo` | non-uniform interconnect topologies (fabric graphs, distance matrices) |
 //! | [`sched`] | `nexus-sched` | pluggable placement and work-stealing policies |
 //! | [`cluster`] | `nexus-cluster` | multi-node cluster simulation with an interconnect model |
 //! | [`rt`] | `nexus-rt` | a real threaded runtime using the Nexus# algorithm |
@@ -49,6 +50,7 @@ pub use nexus_rt as rt;
 pub use nexus_sched as sched;
 pub use nexus_sim as sim;
 pub use nexus_taskgraph as taskgraph;
+pub use nexus_topo as topo;
 pub use nexus_trace as trace;
 
 /// Commonly used items from across the workspace.
@@ -62,5 +64,6 @@ pub mod prelude {
     pub use nexus_rt::{Runtime, TaskSpec};
     pub use nexus_sched::{PlacementPolicy, PolicyKind, StealKind, StealPolicy};
     pub use nexus_sim::{SimDuration, SimTime};
+    pub use nexus_topo::{Fabric, TopologyKind};
     pub use nexus_trace::{Benchmark, TaskDescriptor, Trace, TraceStats};
 }
