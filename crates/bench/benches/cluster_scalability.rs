@@ -19,7 +19,8 @@
 
 use nexus_bench::report::Table;
 use nexus_bench::runner::{
-    bench_scale, cluster_link, cluster_node_counts, cluster_policy, cluster_steal, cluster_topology,
+    bench_scale, cluster_link, cluster_node_counts, cluster_policy, cluster_steal,
+    cluster_topology, event_engine,
 };
 use nexus_cluster::{remote_edge_fraction, simulate_cluster, ClusterConfig};
 use nexus_core::NexusSharp;
@@ -35,10 +36,11 @@ fn main() {
     }
     let placement = cluster_policy();
     let stealing = cluster_steal();
+    let engine = event_engine();
     let workers_per_node = 8;
     println!(
         "per-domain sparselu scale: {scale}, link: {link:?}, placement: {placement}, \
-         stealing: {stealing}, {workers_per_node} workers/node\n"
+         stealing: {stealing}, engine: {engine}, {workers_per_node} workers/node\n"
     );
 
     for remote in [0.0, 0.1, 0.5, 1.0] {
@@ -64,7 +66,8 @@ fn main() {
             let cfg = ClusterConfig::new(nodes, workers_per_node)
                 .with_link(link)
                 .with_placement(placement)
-                .with_stealing(stealing);
+                .with_stealing(stealing)
+                .with_engine(engine);
             let out = simulate_cluster(&trace, &cfg, |_| NexusSharp::paper(6));
             table.row(vec![
                 format!("{nodes}"),

@@ -1,0 +1,705 @@
+//! Machine-readable benchmark baselines (`BENCH_<pr>.json`).
+//!
+//! The perf flywheel: `quick-report --json BENCH_n.json` records one
+//! [`ScenarioRecord`] per tracked cluster scenario; the committed baseline of
+//! the previous PR is loaded with [`Baseline::load`] and compared with
+//! [`compare`], so "measurably faster" claims (and regressions) show up as
+//! numbers, not anecdotes. The vendored `serde` facade is a no-op, so both the
+//! writer and the reader are hand-rolled over a tiny JSON model ([`Json`]).
+//!
+//! Comparison semantics (see [`CompareConfig`]):
+//!
+//! * **makespan** is *simulated* time and deterministic within one binary; a
+//!   relative tolerance (default ±15%) absorbs deliberate model changes
+//!   between PRs. Drift beyond the tolerance fails the comparison.
+//! * **events/sec** is wall-clock throughput and therefore machine-dependent;
+//!   it is only checked against an absolute hard floor, generous enough for
+//!   a loaded CI runner but low enough to catch an order-of-magnitude
+//!   regression of the event engine.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One tracked scenario of a baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// Stable scenario key (scenarios are matched across baselines by name).
+    pub name: String,
+    /// Trace name the scenario ran.
+    pub benchmark: String,
+    /// Fabric name (e.g. `"fullmesh"`, `"racktiers-r2"`).
+    pub topology: String,
+    /// Placement-policy name.
+    pub placement: String,
+    /// Steal-policy name (`"off"` when disabled).
+    pub stealing: String,
+    /// Event-queue engine the run used.
+    pub engine: String,
+    /// Nodes simulated.
+    pub nodes: u64,
+    /// Worker cores per node.
+    pub workers_per_node: u64,
+    /// Tasks executed cluster-wide.
+    pub tasks: u64,
+    /// Simulated end-to-end makespan, microseconds.
+    pub makespan_us: f64,
+    /// Discrete events processed by the cluster event loop.
+    pub sim_events: u64,
+    /// Wall-clock milliseconds of the simulation call.
+    pub wall_ms: f64,
+    /// `sim_events / wall_seconds` — the engine's throughput.
+    pub events_per_sec: f64,
+    /// Descriptors stolen by idle nodes.
+    pub steals: u64,
+    /// Steal requests that found no eligible descriptor.
+    pub steal_failures: u64,
+    /// Link-words per fabric tier, in tier order (`(tier_name, words)`).
+    pub link_words_per_tier: Vec<(String, u64)>,
+}
+
+/// A full baseline file: the tracked scenarios of one PR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// PR number the baseline was recorded by (`BENCH_<pr>.json`).
+    pub pr: u64,
+    /// Workload scale the scenarios ran at.
+    pub scale: f64,
+    /// The recorded scenarios.
+    pub scenarios: Vec<ScenarioRecord>,
+}
+
+impl Baseline {
+    /// Schema tag written into every baseline file.
+    pub const SCHEMA: &'static str = "nexus-bench-baseline";
+    /// Current schema version.
+    pub const VERSION: u64 = 1;
+
+    /// Serializes the baseline as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut scenarios = Vec::with_capacity(self.scenarios.len());
+        for s in &self.scenarios {
+            let tiers = Json::Obj(
+                s.link_words_per_tier
+                    .iter()
+                    .map(|(name, words)| (name.clone(), Json::Num(*words as f64)))
+                    .collect(),
+            );
+            scenarios.push(Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.clone())),
+                ("benchmark".into(), Json::Str(s.benchmark.clone())),
+                ("topology".into(), Json::Str(s.topology.clone())),
+                ("placement".into(), Json::Str(s.placement.clone())),
+                ("stealing".into(), Json::Str(s.stealing.clone())),
+                ("engine".into(), Json::Str(s.engine.clone())),
+                ("nodes".into(), Json::Num(s.nodes as f64)),
+                (
+                    "workers_per_node".into(),
+                    Json::Num(s.workers_per_node as f64),
+                ),
+                ("tasks".into(), Json::Num(s.tasks as f64)),
+                ("makespan_us".into(), Json::Num(s.makespan_us)),
+                ("sim_events".into(), Json::Num(s.sim_events as f64)),
+                ("wall_ms".into(), Json::Num(s.wall_ms)),
+                ("events_per_sec".into(), Json::Num(s.events_per_sec)),
+                ("steals".into(), Json::Num(s.steals as f64)),
+                ("steal_failures".into(), Json::Num(s.steal_failures as f64)),
+                ("link_words_per_tier".into(), tiers),
+            ]));
+        }
+        let root = Json::Obj(vec![
+            ("schema".into(), Json::Str(Self::SCHEMA.into())),
+            ("version".into(), Json::Num(Self::VERSION as f64)),
+            ("pr".into(), Json::Num(self.pr as f64)),
+            ("scale".into(), Json::Num(self.scale)),
+            ("scenarios".into(), Json::Arr(scenarios)),
+        ]);
+        let mut out = String::new();
+        root.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Parses a baseline from its JSON text.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let root = Json::parse(text)?;
+        if root.get("schema").and_then(Json::as_str) != Some(Self::SCHEMA) {
+            return Err(format!("not a {} file", Self::SCHEMA));
+        }
+        let scenarios = root
+            .get("scenarios")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"scenarios\" array")?
+            .iter()
+            .map(ScenarioRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Baseline {
+            pr: root.get("pr").and_then(Json::as_u64).unwrap_or(0),
+            scale: root.get("scale").and_then(Json::as_f64).unwrap_or(0.0),
+            scenarios,
+        })
+    }
+
+    /// Loads and parses a baseline file.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes the baseline file (pretty JSON, trailing newline).
+    pub fn store(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+impl ScenarioRecord {
+    fn from_json(v: &Json) -> Result<ScenarioRecord, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("scenario missing string field {k:?}"))
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scenario missing numeric field {k:?}"))
+        };
+        let tiers = match v.get("link_words_per_tier") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(name, words)| {
+                    words
+                        .as_u64()
+                        .map(|w| (name.clone(), w))
+                        .ok_or_else(|| format!("tier {name:?} has a non-numeric word count"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        Ok(ScenarioRecord {
+            name: str_field("name")?,
+            benchmark: str_field("benchmark")?,
+            topology: str_field("topology")?,
+            placement: str_field("placement")?,
+            stealing: str_field("stealing")?,
+            engine: str_field("engine")?,
+            nodes: num_field("nodes")? as u64,
+            workers_per_node: num_field("workers_per_node")? as u64,
+            tasks: num_field("tasks")? as u64,
+            makespan_us: num_field("makespan_us")?,
+            sim_events: num_field("sim_events")? as u64,
+            wall_ms: num_field("wall_ms")?,
+            events_per_sec: num_field("events_per_sec")?,
+            steals: num_field("steals")? as u64,
+            steal_failures: num_field("steal_failures")? as u64,
+            link_words_per_tier: tiers,
+        })
+    }
+}
+
+/// Tolerances applied by [`compare`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Allowed relative drift of the simulated makespan (0.15 = ±15%).
+    pub makespan_tolerance: f64,
+    /// Hard floor on wall-clock events/sec (absolute; machine-dependent, so
+    /// keep it an order of magnitude below healthy throughput).
+    pub min_events_per_sec: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            makespan_tolerance: 0.15,
+            min_events_per_sec: 100_000.0,
+        }
+    }
+}
+
+/// The per-scenario result of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct ScenarioDelta {
+    /// Scenario name.
+    pub name: String,
+    /// `current / prior` makespan ratio (`None` when the scenario is new).
+    pub makespan_ratio: Option<f64>,
+    /// `current / prior` events-per-sec ratio (`None` when the scenario is
+    /// new). Informational: wall clock is machine-dependent.
+    pub events_per_sec_ratio: Option<f64>,
+    /// Human-readable findings; empty when the scenario is clean.
+    pub failures: Vec<String>,
+}
+
+/// The result of comparing a current run against a prior baseline.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-scenario deltas, in current-run order.
+    pub deltas: Vec<ScenarioDelta>,
+    /// Scenarios present in the prior baseline but missing from the current
+    /// run (each is a failure: a tracked scenario silently disappeared).
+    pub missing: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when no scenario regressed and none disappeared.
+    pub fn is_ok(&self) -> bool {
+        self.missing.is_empty() && self.deltas.iter().all(|d| d.failures.is_empty())
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let ratio = |r: Option<f64>| match r {
+                Some(r) => format!("{:+.1}%", (r - 1.0) * 100.0),
+                None => "new".into(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<44} makespan {:>7}  events/sec {:>7}  {}",
+                d.name,
+                ratio(d.makespan_ratio),
+                ratio(d.events_per_sec_ratio),
+                if d.failures.is_empty() {
+                    "ok".to_string()
+                } else {
+                    d.failures.join("; ")
+                }
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "  {name:<44} MISSING from current run");
+        }
+        out
+    }
+}
+
+/// Compares a current run against a prior baseline under `cfg` (scenarios
+/// matched by name).
+pub fn compare(current: &Baseline, prior: &Baseline, cfg: &CompareConfig) -> CompareReport {
+    let mut deltas = Vec::with_capacity(current.scenarios.len());
+    for cur in &current.scenarios {
+        let mut failures = Vec::new();
+        let old = prior.scenarios.iter().find(|s| s.name == cur.name);
+        let makespan_ratio = old.map(|o| cur.makespan_us / o.makespan_us);
+        if let Some(r) = makespan_ratio {
+            if (r - 1.0).abs() > cfg.makespan_tolerance {
+                failures.push(format!(
+                    "makespan drifted {:+.1}% (tolerance ±{:.0}%)",
+                    (r - 1.0) * 100.0,
+                    cfg.makespan_tolerance * 100.0
+                ));
+            }
+        }
+        if cur.events_per_sec < cfg.min_events_per_sec {
+            failures.push(format!(
+                "events/sec {:.0} below the hard floor {:.0}",
+                cur.events_per_sec, cfg.min_events_per_sec
+            ));
+        }
+        deltas.push(ScenarioDelta {
+            name: cur.name.clone(),
+            makespan_ratio,
+            events_per_sec_ratio: old.map(|o| cur.events_per_sec / o.events_per_sec),
+            failures,
+        });
+    }
+    let missing = prior
+        .scenarios
+        .iter()
+        .filter(|o| !current.scenarios.iter().any(|c| c.name == o.name))
+        .map(|o| o.name.clone())
+        .collect();
+    CompareReport { deltas, missing }
+}
+
+/// A minimal JSON value — just enough for the baseline schema (the vendored
+/// `serde` facade is a no-op, so this crate carries its own reader/writer).
+/// Objects preserve key order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer (rounded).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|v| v.max(0.0).round() as u64)
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+
+    /// Parses a JSON document (must be a single value, whitespace aside).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (JSON strings are valid UTF-8 by
+                    // construction — the input is a Rust `&str`).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, makespan_us: f64, eps: f64) -> ScenarioRecord {
+        ScenarioRecord {
+            name: name.into(),
+            benchmark: "dist-sparselu".into(),
+            topology: "fullmesh".into(),
+            placement: "xorhash".into(),
+            stealing: "off".into(),
+            engine: "calendar".into(),
+            nodes: 8,
+            workers_per_node: 8,
+            tasks: 1120,
+            makespan_us,
+            sim_events: 9000,
+            wall_ms: 3.5,
+            events_per_sec: eps,
+            steals: 0,
+            steal_failures: 0,
+            link_words_per_tier: vec![("hop".into(), 12345)],
+        }
+    }
+
+    fn baseline(scenarios: Vec<ScenarioRecord>) -> Baseline {
+        Baseline {
+            pr: 6,
+            scale: 0.01,
+            scenarios,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let b = baseline(vec![
+            record("a", 111_271.0, 2.5e6),
+            record("b \"quoted\"\n", 0.5, 1.0),
+        ]);
+        let text = b.to_json();
+        let back = Baseline::from_json(&text).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Baseline::from_json("{}").is_err());
+        assert!(Baseline::from_json("{\"schema\": \"other\"}").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"k": ["A\n", {"x": -1.5e3}, true, null]}"#).unwrap();
+        let arr = v.get("k").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_str(), Some("A\n"));
+        assert_eq!(arr[1].get("x").and_then(Json::as_f64), Some(-1500.0));
+        assert_eq!(arr[2], Json::Bool(true));
+        assert_eq!(arr[3], Json::Null);
+    }
+
+    #[test]
+    fn comparator_accepts_drift_within_tolerance() {
+        let prior = baseline(vec![record("a", 100.0, 2.0e6)]);
+        let current = baseline(vec![record("a", 110.0, 1.8e6)]);
+        let report = compare(&current, &prior, &CompareConfig::default());
+        assert!(report.is_ok(), "{}", report.render());
+        assert!((report.deltas[0].makespan_ratio.unwrap() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparator_flags_makespan_drift_and_slow_engines() {
+        let prior = baseline(vec![record("a", 100.0, 2.0e6), record("gone", 1.0, 1.0e6)]);
+        let current = baseline(vec![record("a", 130.0, 50_000.0)]);
+        let report = compare(&current, &prior, &CompareConfig::default());
+        assert!(!report.is_ok());
+        assert_eq!(report.deltas[0].failures.len(), 2, "{}", report.render());
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn new_scenarios_pass_without_a_prior_entry() {
+        let prior = baseline(vec![]);
+        let current = baseline(vec![record("brand-new", 10.0, 2.0e6)]);
+        let report = compare(&current, &prior, &CompareConfig::default());
+        assert!(report.is_ok());
+        assert_eq!(report.deltas[0].makespan_ratio, None);
+    }
+}

@@ -9,19 +9,205 @@
 //! cargo run --release -p nexus-bench --bin quick-report
 //! NEXUS_BENCH_SCALE=0.3 cargo run --release -p nexus-bench --bin quick-report
 //! ```
+//!
+//! ## Baseline mode (the perf flywheel)
+//!
+//! * `--json <path>` — additionally run the tracked baseline scenarios and
+//!   write a machine-readable `BENCH_<pr>.json` (see `nexus_bench::baseline`).
+//! * `--compare <path>` — compare the tracked scenarios against a committed
+//!   baseline; exits non-zero on regression.
+//! * `--tolerance <frac>` — makespan drift tolerance for `--compare`
+//!   (default 0.15 = ±15%).
+//! * `--min-events-per-sec <n>` — hard wall-clock throughput floor for
+//!   `--compare` (default 100000).
+//! * `--baseline-only` — skip the human-readable report tables and only run
+//!   the baseline scenarios (what CI uses).
 
+use nexus_bench::baseline::{compare, Baseline, CompareConfig, ScenarioRecord};
 use nexus_bench::managers::ManagerKind;
 use nexus_bench::paper::table4_row;
 use nexus_bench::report::{fmt_speedup, Table};
-use nexus_bench::runner::{bench_scale, cluster_link, curves_for};
-use nexus_cluster::{simulate_cluster, ClusterConfig, PolicyKind, StealKind, Topology};
+use nexus_bench::runner::{bench_scale, cluster_link, curves_for, event_engine};
+use nexus_cluster::{
+    simulate_cluster, ClusterConfig, ClusterOutcome, PolicyKind, StealKind, Topology,
+};
 use nexus_core::NexusSharp;
 use nexus_sim::SimDuration;
 use nexus_trace::generators::distributed;
-use nexus_trace::Benchmark;
+use nexus_trace::{Benchmark, Trace};
 use std::time::Instant;
 
+/// Command-line options of `quick-report` (all optional; see the module docs).
+#[derive(Default)]
+struct Options {
+    json_out: Option<std::path::PathBuf>,
+    compare_with: Option<std::path::PathBuf>,
+    tolerance: Option<f64>,
+    min_events_per_sec: Option<f64>,
+    baseline_only: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    let missing = |flag: &str| -> ! {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                opts.json_out = Some(args.next().unwrap_or_else(|| missing("--json")).into());
+            }
+            "--compare" => {
+                opts.compare_with =
+                    Some(args.next().unwrap_or_else(|| missing("--compare")).into());
+            }
+            "--tolerance" => {
+                let raw = args.next().unwrap_or_else(|| missing("--tolerance"));
+                opts.tolerance = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --tolerance: unparsable fraction {raw:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--min-events-per-sec" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| missing("--min-events-per-sec"));
+                opts.min_events_per_sec = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --min-events-per-sec: unparsable number {raw:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--baseline-only" => opts.baseline_only = true,
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?} (valid: --json <path>, --compare <path>, \
+                     --tolerance <frac>, --min-events-per-sec <n>, --baseline-only)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
 fn main() {
+    let opts = parse_args();
+    if !opts.baseline_only {
+        report_tables();
+    }
+    if opts.json_out.is_none() && opts.compare_with.is_none() {
+        return;
+    }
+    let current = run_baseline_scenarios();
+    if let Some(path) = &opts.json_out {
+        if let Err(e) = current.store(path) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        println!("baseline written to {}", path.display());
+    }
+    if let Some(path) = &opts.compare_with {
+        let prior = Baseline::load(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let mut cfg = CompareConfig::default();
+        if let Some(t) = opts.tolerance {
+            cfg.makespan_tolerance = t;
+        }
+        if let Some(f) = opts.min_events_per_sec {
+            cfg.min_events_per_sec = f;
+        }
+        let report = compare(&current, &prior, &cfg);
+        println!(
+            "baseline comparison vs {} (PR {}, ±{:.0}% makespan, ≥{:.0} ev/s):",
+            path.display(),
+            prior.pr,
+            cfg.makespan_tolerance * 100.0,
+            cfg.min_events_per_sec
+        );
+        print!("{}", report.render());
+        if !report.is_ok() {
+            eprintln!("error: baseline regression detected");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The PR number stamped into freshly written baselines.
+const BASELINE_PR: u64 = 6;
+/// The workload scale of the tracked scenarios — fixed (independent of
+/// `NEXUS_BENCH_SCALE`) so baselines are comparable across runs.
+const BASELINE_SCALE: f64 = 0.01;
+
+/// Runs the tracked baseline scenarios (fixed traces, fixed seeds, fixed
+/// configs — the simulated outcomes are fully deterministic; only the
+/// wall-clock fields vary between machines).
+fn run_baseline_scenarios() -> Baseline {
+    let engine = event_engine();
+    let record = |name: &str, trace: &Trace, cfg: ClusterConfig| -> ScenarioRecord {
+        let t0 = Instant::now();
+        let out: ClusterOutcome = simulate_cluster(trace, &cfg, |_| NexusSharp::paper(6));
+        let wall = t0.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        eprintln!("  [baseline {name}] {wall:?}, {} events", out.sim_events);
+        ScenarioRecord {
+            name: name.into(),
+            benchmark: out.benchmark.clone(),
+            topology: out.topology.clone(),
+            placement: out.placement.clone(),
+            stealing: out.stealing.clone(),
+            engine: engine.name().into(),
+            nodes: out.nodes as u64,
+            workers_per_node: out.workers_per_node as u64,
+            tasks: out.tasks,
+            makespan_us: out.makespan.as_us_f64(),
+            sim_events: out.sim_events,
+            wall_ms,
+            events_per_sec: out.sim_events as f64 / wall.as_secs_f64().max(1e-9),
+            steals: out.steals,
+            steal_failures: out.steal_failures,
+            link_words_per_tier: out
+                .link
+                .per_tier
+                .iter()
+                .map(|t| (t.name.clone(), t.words))
+                .collect(),
+        }
+    };
+    let cfg = |nodes: usize| ClusterConfig::new(nodes, 8).with_engine(engine);
+    let sparselu = |remote: f64| distributed::sparselu(8, remote, 42, BASELINE_SCALE);
+    let local = sparselu(0.0);
+    let halo = sparselu(0.5);
+    let skewed = distributed::imbalanced(4, 160, 6.0, SimDuration::from_us(50), 0.0, 42);
+    let scenarios = vec![
+        record("sparselu-8d-r0.0-n1-mesh", &local, cfg(1)),
+        record("sparselu-8d-r0.0-n8-mesh", &local, cfg(8)),
+        record("sparselu-8d-r0.5-n8-mesh", &halo, cfg(8)),
+        record(
+            "sparselu-8d-r0.5-n8-racktiers-topo-hier",
+            &halo,
+            cfg(8)
+                .with_link(cluster_link().with_topology(Topology::RackTiers))
+                .with_placement(PolicyKind::TopologyAware)
+                .with_stealing(StealKind::Hierarchical),
+        ),
+        record(
+            "imbalanced-4n-mostloaded",
+            &skewed,
+            cfg(4).with_stealing(StealKind::MostLoaded),
+        ),
+    ];
+    Baseline {
+        pr: BASELINE_PR,
+        scale: BASELINE_SCALE,
+        scenarios,
+    }
+}
+
+fn report_tables() {
     let scale = bench_scale().min(0.05);
     println!(
         "quick-report: workload scale = {scale} (set NEXUS_BENCH_SCALE / NEXUS_FULL for more)\n"

@@ -21,11 +21,13 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod managers;
 pub mod paper;
 pub mod report;
 pub mod runner;
 
+pub use baseline::{compare, Baseline, CompareConfig, ScenarioRecord};
 pub use managers::ManagerKind;
 pub use report::Table;
-pub use runner::{bench_scale, curves_for, gaussian_core_counts, hw_core_counts};
+pub use runner::{bench_scale, curves_for, event_engine, gaussian_core_counts, hw_core_counts};

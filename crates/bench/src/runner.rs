@@ -83,8 +83,21 @@ pub fn cluster_topology() -> Option<nexus_topo::TopologyKind> {
     )
 }
 
+/// The event-queue engine used by the cluster benches:
+/// `NEXUS_EVENT_ENGINE=calendar` (default) or `heap`, case-insensitively.
+/// Typos abort with the list of valid values.
+pub fn event_engine() -> nexus_sim::EngineKind {
+    let Ok(raw) = std::env::var("NEXUS_EVENT_ENGINE") else {
+        return nexus_sim::EngineKind::default();
+    };
+    raw.parse()
+        .unwrap_or_else(|e: String| env_knob_error("NEXUS_EVENT_ENGINE", &e))
+}
+
 /// The workload scale factor used by the benches: `NEXUS_FULL=1` forces 1.0,
-/// otherwise `NEXUS_BENCH_SCALE` (default 0.1).
+/// otherwise `NEXUS_BENCH_SCALE` (default 0.1). Unparsable or non-finite
+/// values abort loudly — a typo like `0,3` must not silently size the whole
+/// workload to the default.
 pub fn bench_scale() -> f64 {
     if std::env::var("NEXUS_FULL")
         .map(|v| v == "1")
@@ -92,11 +105,22 @@ pub fn bench_scale() -> f64 {
     {
         return 1.0;
     }
-    std::env::var("NEXUS_BENCH_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .map(|v| v.clamp(0.001, 1.0))
-        .unwrap_or(0.1)
+    let Ok(raw) = std::env::var("NEXUS_BENCH_SCALE") else {
+        return 0.1;
+    };
+    let v: f64 = raw.trim().parse().unwrap_or_else(|_| {
+        env_knob_error(
+            "NEXUS_BENCH_SCALE",
+            &format!("unparsable scale {raw:?} (expected a number in 0.001..=1.0)"),
+        )
+    });
+    if !v.is_finite() {
+        env_knob_error(
+            "NEXUS_BENCH_SCALE",
+            &format!("non-finite scale {raw:?} (expected a number in 0.001..=1.0)"),
+        );
+    }
+    v.clamp(0.001, 1.0)
 }
 
 /// Runs the speedup curve of `manager` on `bench` (generated at `scale`) over

@@ -1,7 +1,7 @@
 //! Cluster and interconnect configuration.
 
 use nexus_sched::{PolicyKind, StealKind};
-use nexus_sim::SimDuration;
+use nexus_sim::{EngineKind, SimDuration};
 use nexus_topo::Fabric;
 use serde::{Deserialize, Serialize};
 
@@ -104,6 +104,10 @@ pub struct ClusterConfig {
     /// infinite event loops). The default of 10¹⁰ is ~25× what the largest
     /// full-size paper workload generates cluster-wide.
     pub max_events: u64,
+    /// Event-queue engine driving the simulation. Outcomes are bit-identical
+    /// across engines (the equivalence suite asserts it); the calendar engine
+    /// is the fast default, the heap engine the reference.
+    pub engine: EngineKind,
 }
 
 impl ClusterConfig {
@@ -120,6 +124,7 @@ impl ClusterConfig {
             placement: PolicyKind::default(),
             stealing: StealKind::default(),
             max_events: Self::DEFAULT_MAX_EVENTS,
+            engine: EngineKind::default(),
         }
     }
 
@@ -138,6 +143,13 @@ impl ClusterConfig {
     /// Same cluster with a different work-stealing policy.
     pub fn with_stealing(mut self, stealing: StealKind) -> Self {
         self.stealing = stealing;
+        self
+    }
+
+    /// Same cluster with a different event-queue engine (outcomes are
+    /// engine-independent; only wall-clock speed changes).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 

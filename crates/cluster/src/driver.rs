@@ -55,10 +55,11 @@ use nexus_host::master::{MasterSm, MasterStep};
 use nexus_host::metrics::SimOutcome;
 use nexus_host::pool::WorkerPool;
 use nexus_sched::{NodeLoad, StealPolicy};
-use nexus_sim::{EventQueue, SimDuration, SimTime};
+use nexus_sim::events::TimedEvent;
+use nexus_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 use nexus_topo::{DistanceMatrix, Fabric};
 use nexus_trace::{TaskDescriptor, TaskId, Trace};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Words on the wire for a retirement / dependency notification (message tag
 /// plus task id).
@@ -129,6 +130,44 @@ enum Deliver {
     StealFailed { thief: usize },
 }
 
+/// Task-id → submission-index lookup. Traces built by the generators assign
+/// dense ids in submission order, which a flat vector resolves in one indexed
+/// load; arbitrary (sparse) ids fall back to a hash map.
+enum IdMap {
+    Dense(Vec<u32>),
+    Sparse(FxHashMap<TaskId, usize>),
+}
+
+impl IdMap {
+    fn build(tasks: &[&TaskDescriptor]) -> IdMap {
+        let n = tasks.len();
+        // Dense only when ids fit a table of bounded slack (≤2× + change), so
+        // a stray huge id cannot blow up memory.
+        let max_id = tasks.iter().map(|t| t.id.0).max().unwrap_or(0);
+        if max_id < (2 * n + 64) as u64 {
+            let mut map = vec![u32::MAX; max_id as usize + 1];
+            for (i, t) in tasks.iter().enumerate() {
+                map[t.id.0 as usize] = i as u32;
+            }
+            IdMap::Dense(map)
+        } else {
+            IdMap::Sparse(tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect())
+        }
+    }
+
+    #[inline]
+    fn idx(&self, id: TaskId) -> usize {
+        match self {
+            IdMap::Dense(v) => {
+                let i = v[id.0 as usize];
+                debug_assert!(i != u32::MAX, "unknown task {id}");
+                i as usize
+            }
+            IdMap::Sparse(m) => m[&id],
+        }
+    }
+}
+
 impl Deliver {
     fn into_event(self) -> Event {
         match self {
@@ -169,6 +208,11 @@ struct NodeState<M> {
     pending: VecDeque<usize>,
     /// The node's submission interface is busy until this time.
     input_free: SimTime,
+    /// A [`Event::Pump`] retry is already queued for this node. Without the
+    /// flag every event observing the busy interface schedules its own
+    /// duplicate retry, which cascades into an event storm on loaded nodes
+    /// (hundreds of no-op events per task at high backlog).
+    pump_queued: bool,
     /// Tasks arrived at this node and not yet retired (for idle accounting).
     outstanding: u64,
     executed: u64,
@@ -248,6 +292,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                 pool: WorkerPool::new(cfg.workers_per_node),
                 pending: VecDeque::new(),
                 input_free: SimTime::ZERO,
+                pump_queued: false,
                 outstanding: 0,
                 executed: 0,
                 retired: 0,
@@ -274,16 +319,15 @@ impl<M: TaskManager> ClusterDriver<M> {
     /// deadlocks (which would indicate a model bug).
     pub fn run(mut self, trace: &Trace) -> ClusterOutcome {
         let tasks: Vec<&TaskDescriptor> = trace.tasks().collect();
-        let idx_of: HashMap<TaskId, usize> =
-            tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
-        let durations: HashMap<TaskId, SimDuration> =
-            tasks.iter().map(|t| (t.id, t.duration)).collect();
+        let idx_of = IdMap::build(&tasks);
+        let durations: Vec<SimDuration> = tasks.iter().map(|t| t.duration).collect();
         // The fabric's distance matrix is static; clone it out of the
         // interconnect so the steal path can consult it while sending.
         let distances = self.net.distances().clone();
         let (mut metas, edges) = self.analyze(&tasks, &distances);
 
-        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut queue: EventQueue<Event> = EventQueue::with_engine(self.cfg.engine);
+        let mut scratch: Vec<ManagerEvent> = Vec::new();
         let mut master = MasterSm::new();
         let mut steal_policy: Box<dyn StealPolicy> = self.cfg.stealing.build();
         let steal_enabled = self.cfg.stealing.is_enabled();
@@ -294,7 +338,21 @@ impl<M: TaskManager> ClusterDriver<M> {
 
         queue.schedule(SimTime::ZERO, Event::MasterStep);
 
-        while let Some(ev) = queue.pop() {
+        // Back-to-back link-relay coalescing: when a relay's continuation is
+        // provably the next event to pop (strictly smaller `(time, seq)` key
+        // than the queue minimum, under a seq reserved at the exact position a
+        // plain `schedule` would have used), it is handed to the next loop
+        // iteration directly, skipping one queue round-trip per hop without
+        // perturbing the deterministic event order.
+        let mut inline_next: Option<TimedEvent<Event>> = None;
+        loop {
+            let ev = match inline_next.take() {
+                Some(ev) => ev,
+                None => match queue.pop() {
+                    Some(ev) => ev,
+                    None => break,
+                },
+            };
             let now = ev.time;
             makespan = makespan.max(now);
             events_processed += 1;
@@ -305,11 +363,15 @@ impl<M: TaskManager> ClusterDriver<M> {
                 );
             }
 
+            // Set by the Relay arm; resolved after the post-event steal scan
+            // (which may schedule earlier events and veto the inline).
+            let mut pending_inline: Option<TimedEvent<Event>> = None;
+
             match ev.payload {
                 Event::MasterStep => {
                     match master.step(trace, now, supports_taskwait_on) {
                         MasterStep::Submit(task) => {
-                            let idx = idx_of[&task.id];
+                            let idx = idx_of.idx(task.id);
                             let home = metas[idx].home;
                             master.commit_submit(task, now);
                             // Forward the descriptor to its home node.
@@ -322,9 +384,12 @@ impl<M: TaskManager> ClusterDriver<M> {
                                 &mut queue,
                             );
                             // Subscribe to (or directly forward) the remote
-                            // dependency notifications the task needs.
-                            let producers = metas[idx].remote_producers.clone();
-                            for p in producers {
+                            // dependency notifications the task needs. The
+                            // producer list is moved out and restored (a task
+                            // is never its own producer) to keep the hot path
+                            // free of per-submit clones.
+                            let producers = std::mem::take(&mut metas[idx].remote_producers);
+                            for &p in &producers {
                                 match metas[p].retired_at {
                                     Some(_) => {
                                         let ph = metas[p].home;
@@ -341,6 +406,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                                     None => metas[p].subscribers.push(idx),
                                 }
                             }
+                            metas[idx].remote_producers = producers;
                             queue.schedule(sender_free.max(now), Event::MasterStep);
                         }
                         MasterStep::Compute(d) => {
@@ -359,7 +425,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                     n.outstanding += 1;
                     n.pending.push_back(idx);
                     n.max_pending = n.max_pending.max(n.pending.len());
-                    self.pump(node, now, &metas, &tasks, &mut queue);
+                    self.pump(node, now, &metas, &tasks, &mut queue, &mut scratch);
                 }
 
                 Event::NotifyArrive { idx } => {
@@ -367,19 +433,21 @@ impl<M: TaskManager> ClusterDriver<M> {
                     meta.remaining_remote -= 1;
                     let home = meta.home;
                     self.nodes[home].touch(now);
-                    self.pump(home, now, &metas, &tasks, &mut queue);
+                    self.pump(home, now, &metas, &tasks, &mut queue, &mut scratch);
                 }
 
                 Event::Pump { node } => {
-                    self.nodes[node].touch(now);
-                    self.pump(node, now, &metas, &tasks, &mut queue);
+                    let n = &mut self.nodes[node];
+                    n.pump_queued = false;
+                    n.touch(now);
+                    self.pump(node, now, &metas, &tasks, &mut queue, &mut scratch);
                 }
 
                 Event::Ready { node, task } => {
                     let n = &mut self.nodes[node];
                     n.touch(now);
                     n.pool.enqueue(task);
-                    Self::dispatch(n, node, now, &durations, &mut queue);
+                    Self::dispatch(n, node, now, &idx_of, &durations, &mut queue, &mut scratch);
                 }
 
                 Event::WorkerFinish { node, task } => {
@@ -387,7 +455,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                     n.touch(now);
                     n.executed += 1;
                     let free_at = n.manager.finish(task, now);
-                    Self::drain(n, node, now, &mut queue);
+                    Self::drain(n, node, now, &mut queue, &mut scratch);
                     queue.schedule(free_at.max(now), Event::WorkerFree { node });
                 }
 
@@ -395,7 +463,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                     let n = &mut self.nodes[node];
                     n.touch(now);
                     n.pool.release();
-                    Self::dispatch(n, node, now, &durations, &mut queue);
+                    Self::dispatch(n, node, now, &idx_of, &durations, &mut queue, &mut scratch);
                 }
 
                 Event::Retired { node, task } => {
@@ -403,8 +471,8 @@ impl<M: TaskManager> ClusterDriver<M> {
                     n.touch(now);
                     n.retired += 1;
                     n.outstanding -= 1;
-                    n.total_work += durations[&task];
-                    let idx = idx_of[&task];
+                    let idx = idx_of.idx(task);
+                    n.total_work += durations[idx];
                     metas[idx].retired_at = Some(now);
                     // Forward the retirement to every subscribed consumer…
                     for sub in std::mem::take(&mut metas[idx].subscribers) {
@@ -429,7 +497,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                         &mut queue,
                     );
                     // A task-pool slot may have been freed.
-                    self.pump(node, now, &metas, &tasks, &mut queue);
+                    self.pump(node, now, &metas, &tasks, &mut queue, &mut scratch);
                 }
 
                 Event::MasterSawRetire { task } => {
@@ -452,7 +520,14 @@ impl<M: TaskManager> ClusterDriver<M> {
 
                 Event::StolenArrive { node, idx } => {
                     let n = &mut self.nodes[node];
-                    n.incoming_steals = n.incoming_steals.saturating_sub(1);
+                    debug_assert!(
+                        n.incoming_steals > 0,
+                        "StolenArrive at node {node} without an outstanding steal grant"
+                    );
+                    n.incoming_steals = n
+                        .incoming_steals
+                        .checked_sub(1)
+                        .expect("steal accounting underflow: StolenArrive without a grant");
                     n.touch(now);
                     n.outstanding += 1;
                     // Stolen descriptors enter at the FRONT: they are fully
@@ -464,7 +539,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                     // a cross-node head-of-line dependency cycle (deadlock).
                     n.pending.push_front(idx);
                     n.max_pending = n.max_pending.max(n.pending.len());
-                    self.pump(node, now, &metas, &tasks, &mut queue);
+                    self.pump(node, now, &metas, &tasks, &mut queue, &mut scratch);
                 }
 
                 Event::StealFailed { thief } => {
@@ -482,25 +557,39 @@ impl<M: TaskManager> ClusterDriver<M> {
                     then,
                 } => {
                     let d = self.net.send_hop(from, to, hop, words, now);
-                    if hop + 1 == self.net.hops(from, to) {
-                        queue.schedule(d.delivered, then.into_event());
+                    let payload = if hop + 1 == self.net.hops(from, to) {
+                        then.into_event()
                     } else {
-                        queue.schedule(
-                            d.delivered,
-                            Event::Relay {
-                                from,
-                                to,
-                                hop: hop + 1,
-                                words,
-                                then,
-                            },
-                        );
-                    }
+                        Event::Relay {
+                            from,
+                            to,
+                            hop: hop + 1,
+                            words,
+                            then,
+                        }
+                    };
+                    // Reserve the seq a plain `schedule` would assign, but
+                    // defer the enqueue: if the continuation is still the
+                    // queue minimum after the steal scan it short-circuits
+                    // into the next iteration (see `inline_next`).
+                    pending_inline = Some(TimedEvent {
+                        time: d.delivered,
+                        seq: queue.reserve_seq(),
+                        payload,
+                    });
                 }
             }
 
             if steal_enabled {
                 self.try_steals(now, &metas, &distances, steal_policy.as_mut(), &mut queue);
+            }
+            if let Some(te) = pending_inline.take() {
+                let beats_queue = queue.peek_key().is_none_or(|min| (te.time, te.seq) < min);
+                if beats_queue {
+                    inline_next = Some(te);
+                } else {
+                    queue.schedule_at_seq(te.time, te.seq, te.payload);
+                }
             }
         }
 
@@ -563,6 +652,7 @@ impl<M: TaskManager> ClusterDriver<M> {
             notifications,
             steals: self.steals,
             steal_failures: self.steal_failures,
+            sim_events: events_processed,
             link,
             max_pending_depth,
         }
@@ -768,13 +858,14 @@ impl<M: TaskManager> ClusterDriver<M> {
             debug_assert_eq!(metas[idx].home, victim, "stolen task must be at home");
             // Consumers that counted on resolving this dependence inside the
             // victim's manager now need a cross-node retirement notification.
-            let consumers = metas[idx].consumers.clone();
-            for c in consumers {
+            let consumers = std::mem::take(&mut metas[idx].consumers);
+            for &c in &consumers {
                 if metas[c].home == victim && !metas[idx].subscribers.contains(&c) {
                     metas[c].remaining_remote += 1;
                     metas[idx].subscribers.push(c);
                 }
             }
+            metas[idx].consumers = consumers;
             metas[idx].home = thief;
             self.steals += 1;
             self.send_msg(
@@ -798,6 +889,7 @@ impl<M: TaskManager> ClusterDriver<M> {
         metas: &[TaskMeta],
         tasks: &[&TaskDescriptor],
         queue: &mut EventQueue<Event>,
+        scratch: &mut Vec<ManagerEvent>,
     ) {
         let n = &mut self.nodes[node];
         while let Some(&idx) = n.pending.front() {
@@ -809,13 +901,19 @@ impl<M: TaskManager> ClusterDriver<M> {
             }
             if now < n.input_free {
                 // A submittable head is blocked only by the busy submission
-                // interface: retry exactly when it frees up.
-                queue.schedule(n.input_free, Event::Pump { node });
+                // interface: retry exactly when it frees up. `input_free` only
+                // moves forward, so one outstanding retry per node suffices —
+                // the dedup flag collapses what used to be an O(queue-depth)
+                // storm of no-op Pump events.
+                if !n.pump_queued {
+                    n.pump_queued = true;
+                    queue.schedule(n.input_free, Event::Pump { node });
+                }
                 break;
             }
             n.pending.pop_front();
             let release = n.manager.submit(tasks[idx], now);
-            Self::drain(n, node, now, queue);
+            Self::drain(n, node, now, queue, scratch);
             n.input_free = release.max(now);
         }
     }
@@ -839,10 +937,17 @@ impl<M: TaskManager> ClusterDriver<M> {
         }
     }
 
-    /// Drains a node manager's notifications into the global event queue.
-    fn drain(n: &mut NodeState<M>, node: usize, now: SimTime, queue: &mut EventQueue<Event>) {
-        let events = n.manager.drain_events();
-        Self::schedule_events(events, node, now, queue);
+    /// Drains a node manager's notifications into the global event queue
+    /// through a reused scratch buffer (no per-call allocation).
+    fn drain(
+        n: &mut NodeState<M>,
+        node: usize,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+        scratch: &mut Vec<ManagerEvent>,
+    ) {
+        n.manager.drain_events_into(scratch);
+        Self::schedule_events(scratch.drain(..), node, now, queue);
     }
 
     /// Hands queued ready tasks to free workers on `node`.
@@ -850,21 +955,22 @@ impl<M: TaskManager> ClusterDriver<M> {
         n: &mut NodeState<M>,
         node: usize,
         now: SimTime,
-        durations: &HashMap<TaskId, SimDuration>,
+        idx_of: &IdMap,
+        durations: &[SimDuration],
         queue: &mut EventQueue<Event>,
+        scratch: &mut Vec<ManagerEvent>,
     ) {
         let manager = &mut n.manager;
         let pool = &mut n.pool;
-        let mut drained = Vec::new();
         pool.dispatch(|task| {
             let extra = manager.dispatch_cost(task, now);
-            drained.extend(manager.drain_events());
+            manager.drain_events_into(scratch);
             queue.schedule(
-                now + extra + durations[&task],
+                now + extra + durations[idx_of.idx(task)],
                 Event::WorkerFinish { node, task },
             );
         });
-        Self::schedule_events(drained, node, now, queue);
+        Self::schedule_events(scratch.drain(..), node, now, queue);
     }
 }
 
@@ -1077,6 +1183,85 @@ mod tests {
             let cfg = ClusterConfig::new(4, 2).with_stealing(stealing);
             let out = simulate_cluster(&trace, &cfg, |_| tight_sharp());
             assert_eq!(out.tasks, trace.task_count() as u64, "{stealing}");
+        }
+    }
+
+    #[test]
+    fn calendar_engine_is_bit_identical_to_heap_across_the_grid() {
+        // The engine-equivalence suite for the pluggable event core: every
+        // topology × placement × stealing combination of the determinism grid
+        // must produce the same `ClusterOutcome` bit for bit whether the
+        // driver pops its events from the reference `BinaryHeap` or from the
+        // calendar queue. The debug rendering covers every field (makespan,
+        // per-node outcomes, link tiers, steals, event counts, ...).
+        let trace = distributed::unhinted(&distributed::sparselu(4, 0.4, 7, 0.002));
+        for topology in crate::config::Topology::ALL {
+            for placement in PolicyKind::ALL {
+                for stealing in StealKind::ALL {
+                    let cfg = ClusterConfig::new(4, 4)
+                        .with_link(LinkConfig::rdma().with_topology(topology))
+                        .with_placement(placement)
+                        .with_stealing(stealing);
+                    let heap = simulate_cluster(
+                        &trace,
+                        &cfg.with_engine(nexus_sim::EngineKind::Heap),
+                        |_| tight_sharp(),
+                    );
+                    let calendar = simulate_cluster(
+                        &trace,
+                        &cfg.with_engine(nexus_sim::EngineKind::Calendar),
+                        |_| tight_sharp(),
+                    );
+                    assert_eq!(
+                        format!("{heap:?}"),
+                        format!("{calendar:?}"),
+                        "engines diverged on {topology:?}/{placement}/{stealing}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_steals_on_ideal_links_cannot_livelock_a_timestamp() {
+        // Regression for the `last_steal_fail == Some(now)` guard: on an
+        // ideal (zero-latency) link a failed steal's empty-handed reply
+        // returns at the *same* timestamp it was issued. Without the guard
+        // the idle thief re-issues the request inside the same event cascade
+        // and the loop never advances time. The victim here is a serial
+        // chain pinned to node 0, so node 1 stays idle (and stealing stays
+        // useless) for the whole run.
+        let mut b = nexus_trace::trace::TraceBuilder::new("ideal-empty-victim");
+        for _ in 0..32u64 {
+            b.submit_with(|id| {
+                TaskDescriptor::builder(id.0)
+                    .inout(0x40)
+                    .duration(us(10))
+                    .affinity(0)
+                    .build()
+            });
+        }
+        b.taskwait();
+        let trace = b.finish();
+        for stealing in StealKind::ALL {
+            if !stealing.is_enabled() {
+                continue;
+            }
+            let cfg = ClusterConfig::new(2, 2)
+                .with_link(LinkConfig::ideal())
+                .with_stealing(stealing);
+            let out = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+            assert_eq!(out.tasks, 32, "{stealing}");
+            // The chain serializes execution whatever the thief does.
+            assert!(out.makespan >= us(320), "{stealing}: {}", out.makespan);
+            // Failed attempts are bounded (at most one per thief per distinct
+            // timestamp), not a same-time livelock.
+            assert!(
+                out.steal_failures <= out.sim_events,
+                "{stealing}: {} failures in {} events",
+                out.steal_failures,
+                out.sim_events
+            );
         }
     }
 

@@ -69,6 +69,7 @@ impl Interconnect {
     }
 
     /// Number of hops on the route from `from` to `to` (0 for `from == to`).
+    #[inline]
     pub fn hops(&self, from: usize, to: usize) -> usize {
         self.fabric.route(from, to).len()
     }
@@ -82,6 +83,7 @@ impl Interconnect {
     /// Callers must drive hops in arrival-time order (the cluster driver
     /// relays through its event queue), which keeps every link a causal,
     /// work-conserving FIFO.
+    #[inline]
     pub fn send_hop(
         &mut self,
         from: usize,

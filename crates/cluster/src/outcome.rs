@@ -97,6 +97,9 @@ pub struct ClusterOutcome {
     pub steals: u64,
     /// Steal requests that found no eligible descriptor at the victim.
     pub steal_failures: u64,
+    /// Discrete events processed by the cluster event loop (the simulator's
+    /// unit of work — `sim_events / wall_seconds` is the engine's events/sec).
+    pub sim_events: u64,
     /// Interconnect traffic summary.
     pub link: LinkStats,
     /// Deepest per-node backlog of tasks waiting for remote dependencies or
@@ -181,6 +184,7 @@ mod tests {
             notifications: 3,
             steals: 0,
             steal_failures: 0,
+            sim_events: 42,
             link: LinkStats {
                 messages: 3,
                 words: 6,

@@ -3,10 +3,9 @@
 use crate::config::NexusSharpConfig;
 use crate::distribution::Distributor;
 use nexus_host::manager::{ManagerEvent, TaskManager};
-use nexus_sim::{ClockDomain, SerialResource, SimDuration, SimTime};
+use nexus_sim::{ClockDomain, FxHashMap, SerialResource, SimDuration, SimTime};
 use nexus_taskgraph::{DepCountsTable, DependencyTracker, TaskPool};
 use nexus_trace::{TaskDescriptor, TaskId};
-use std::collections::HashMap;
 
 /// The distributed Nexus# hardware task manager.
 pub struct NexusSharp {
@@ -34,7 +33,11 @@ pub struct NexusSharp {
     pool: TaskPool,
     /// Parameter lists of in-flight tasks (the Task Pool contents used when a
     /// finished task's addresses are re-distributed).
-    params: HashMap<TaskId, Vec<nexus_trace::TaskParam>>,
+    params: FxHashMap<TaskId, Vec<nexus_trace::TaskParam>>,
+    /// Retired parameter-list buffers, reused for the next submission (the
+    /// managers churn through one list per task; recycling the allocations
+    /// keeps the event hot path allocation-free in steady state).
+    param_arena: Vec<Vec<nexus_trace::TaskParam>>,
 
     pending: Vec<ManagerEvent>,
     tasks_submitted: u64,
@@ -64,7 +67,8 @@ impl NexusSharp {
                 .collect(),
             dep_counts: DepCountsTable::new(),
             pool: TaskPool::new(config.task_pool_capacity, config.retirement),
-            params: HashMap::new(),
+            params: FxHashMap::default(),
+            param_arena: Vec::new(),
             pending: Vec::new(),
             tasks_submitted: 0,
             tasks_retired: 0,
@@ -191,7 +195,10 @@ impl TaskManager for NexusSharp {
         self.pool
             .admit(task.clone())
             .expect("driver must check can_accept before submitting");
-        self.params.insert(task.id, task.params.clone());
+        let mut buf = self.param_arena.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(&task.params);
+        self.params.insert(task.id, buf);
 
         // The arbiter concludes the final dependence count once the last
         // parameter's result has been gathered.
@@ -264,6 +271,7 @@ impl TaskManager for NexusSharp {
         }
 
         self.pool.finish(task);
+        self.param_arena.push(params);
         self.tasks_retired += 1;
         self.pending.push(ManagerEvent::Retired {
             task,
@@ -276,6 +284,10 @@ impl TaskManager for NexusSharp {
 
     fn drain_events(&mut self) -> Vec<ManagerEvent> {
         std::mem::take(&mut self.pending)
+    }
+
+    fn drain_events_into(&mut self, out: &mut Vec<ManagerEvent>) {
+        out.append(&mut self.pending);
     }
 
     fn stats_summary(&self) -> Vec<(String, f64)> {

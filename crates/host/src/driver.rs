@@ -9,9 +9,8 @@ use crate::manager::{ManagerEvent, TaskManager};
 use crate::master::{MasterSm, MasterStep};
 use crate::metrics::SimOutcome;
 use crate::pool::WorkerPool;
-use nexus_sim::{EventQueue, SimDuration, SimTime};
+use nexus_sim::{EngineKind, EventQueue, FxHashMap, SimDuration, SimTime};
 use nexus_trace::{TaskDescriptor, TaskId, Trace};
-use std::collections::HashMap;
 
 /// Host machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +21,9 @@ pub struct HostConfig {
     /// Safety limit on simulation events (guards against model bugs producing
     /// infinite loops). The default is ample for every paper workload.
     pub max_events: u64,
+    /// Event-queue engine driving the simulation (identical outcomes either
+    /// way; see [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 impl HostConfig {
@@ -30,7 +32,14 @@ impl HostConfig {
         HostConfig {
             workers,
             max_events: u64::MAX,
+            engine: EngineKind::default(),
         }
+    }
+
+    /// Selects the event-queue engine (outcomes are engine-independent).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -59,9 +68,10 @@ enum Event {
 /// model bug — the property tests guard against it).
 pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) -> SimOutcome {
     assert!(cfg.workers > 0, "need at least one worker core");
-    let tasks: HashMap<TaskId, &TaskDescriptor> = trace.tasks().map(|t| (t.id, t)).collect();
+    let tasks: FxHashMap<TaskId, &TaskDescriptor> = trace.tasks().map(|t| (t.id, t)).collect();
 
-    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut queue: EventQueue<Event> = EventQueue::with_engine(cfg.engine);
+    let mut mgr_events: Vec<ManagerEvent> = Vec::new();
     let mut pool = WorkerPool::new(cfg.workers);
     let mut master = MasterSm::new();
     let mut executed: u64 = 0;
@@ -77,7 +87,8 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
 
     macro_rules! drain_manager {
         ($now:expr) => {
-            for ev in manager.drain_events() {
+            manager.drain_events_into(&mut mgr_events);
+            for ev in mgr_events.drain(..) {
                 match ev {
                     ManagerEvent::Ready { task, at } => {
                         queue.schedule(at.max($now), Event::ReadyVisible(task));

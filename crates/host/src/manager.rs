@@ -90,6 +90,14 @@ pub trait TaskManager {
     /// are at or after the call that generated them.
     fn drain_events(&mut self) -> Vec<ManagerEvent>;
 
+    /// Appends all pending notifications to `out` instead of allocating a
+    /// fresh vector. The drivers call this on their event hot path with a
+    /// reused scratch buffer; managers with an internal pending buffer should
+    /// override it to `append` (which keeps both buffers' capacity alive).
+    fn drain_events_into(&mut self, out: &mut Vec<ManagerEvent>) {
+        out.extend(self.drain_events());
+    }
+
     /// Optional diagnostic key/value summary (utilizations, stall counts, …)
     /// reported at the end of a simulation.
     fn stats_summary(&self) -> Vec<(String, f64)> {

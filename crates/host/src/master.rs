@@ -22,9 +22,9 @@
 //! and transport-related: what submitting a task costs, and when a retirement
 //! becomes visible.
 
+use nexus_sim::{FxHashMap, FxHashSet};
 use nexus_sim::{SimDuration, SimTime};
 use nexus_trace::{TaskDescriptor, TaskId, Trace, TraceOp};
-use std::collections::{HashMap, HashSet};
 
 /// What the master thread is currently doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,8 +64,8 @@ pub struct MasterSm {
     state: State,
     op_idx: usize,
     submitted: u64,
-    retired: HashSet<TaskId>,
-    last_writer: HashMap<u64, TaskId>,
+    retired: FxHashSet<TaskId>,
+    last_writer: FxHashMap<u64, TaskId>,
     barrier_since: Option<SimTime>,
     barrier_time: SimDuration,
     backpressure_since: Option<SimTime>,
@@ -85,8 +85,8 @@ impl MasterSm {
             state: State::Running,
             op_idx: 0,
             submitted: 0,
-            retired: HashSet::new(),
-            last_writer: HashMap::new(),
+            retired: FxHashSet::default(),
+            last_writer: FxHashMap::default(),
             barrier_since: None,
             barrier_time: SimDuration::ZERO,
             backpressure_since: None,

@@ -29,6 +29,7 @@
 pub mod clock;
 pub mod events;
 pub mod fifo;
+pub mod fxhash;
 pub mod link;
 pub mod resource;
 pub mod rng;
@@ -36,8 +37,9 @@ pub mod stats;
 pub mod time;
 
 pub use clock::ClockDomain;
-pub use events::{EventQueue, TimedEvent};
+pub use events::{EngineKind, EventQueue, TimedEvent};
 pub use fifo::LatencyFifo;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use link::{LinkDelivery, LinkResource};
 pub use resource::{PooledResource, SerialResource};
 pub use rng::SimRng;
@@ -46,7 +48,7 @@ pub use time::{SimDuration, SimTime};
 /// Convenience prelude bringing the most common simulation types into scope.
 pub mod prelude {
     pub use crate::clock::ClockDomain;
-    pub use crate::events::{EventQueue, TimedEvent};
+    pub use crate::events::{EngineKind, EventQueue, TimedEvent};
     pub use crate::fifo::LatencyFifo;
     pub use crate::link::{LinkDelivery, LinkResource};
     pub use crate::resource::{PooledResource, SerialResource};

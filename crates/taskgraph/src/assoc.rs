@@ -8,8 +8,8 @@
 //! reports these events so the timing models can charge for them and the
 //! statistics can show how often they happen.
 
+use nexus_sim::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Geometry of a set-associative table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,7 +97,7 @@ pub struct TableStats {
 pub struct SetAssocTable<V> {
     config: SetAssocConfig,
     sets: Vec<Vec<WayEntry<V>>>,
-    overflow: HashMap<u64, V>,
+    overflow: FxHashMap<u64, V>,
     stats: TableStats,
 }
 
@@ -113,7 +113,7 @@ impl<V> SetAssocTable<V> {
             sets: (0..config.sets)
                 .map(|_| Vec::with_capacity(config.ways))
                 .collect(),
-            overflow: HashMap::new(),
+            overflow: FxHashMap::default(),
             stats: TableStats::default(),
         }
     }

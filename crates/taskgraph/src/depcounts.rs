@@ -13,9 +13,9 @@
 //! have been processed by their task graphs — the role of the Sim(-ultaneous)
 //! Tasks Dep. Counts Buffer).
 
+use nexus_sim::FxHashMap;
 use nexus_trace::TaskId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Per-task gathering state while its parameters are being processed and while
 /// it waits for its dependencies.
@@ -41,7 +41,7 @@ pub struct DepCountsStats {
 /// The global dependence-counts table of the arbiter.
 #[derive(Debug, Clone, Default)]
 pub struct DepCountsTable {
-    entries: HashMap<TaskId, Entry>,
+    entries: FxHashMap<TaskId, Entry>,
     stats: DepCountsStats,
 }
 

@@ -18,9 +18,10 @@
 //!   which is one of the structural reasons the central design falls behind on
 //!   irregular workloads.
 
+use nexus_sim::FxHashMap;
 use nexus_trace::{TaskDescriptor, TaskId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Slot recycling discipline of the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,11 +50,15 @@ pub struct TaskPoolStats {
 pub struct TaskPool {
     capacity: usize,
     order: RetirementOrder,
-    tasks: HashMap<TaskId, TaskDescriptor>,
-    /// Allocation order, used for in-order recycling.
+    tasks: FxHashMap<TaskId, TaskDescriptor>,
+    /// Occupied slots (admitted and not yet recycled).
+    occupied: usize,
+    /// Allocation order — maintained only under in-order recycling (free-list
+    /// slots have no positional identity, so keeping this queue would cost an
+    /// O(occupancy) scan per retirement for nothing).
     fifo: VecDeque<TaskId>,
     /// Tasks finished but whose slot is not yet recyclable (in-order mode only).
-    finished_pending: HashMap<TaskId, ()>,
+    finished_pending: FxHashMap<TaskId, ()>,
     stats: TaskPoolStats,
 }
 
@@ -67,9 +72,10 @@ impl TaskPool {
         TaskPool {
             capacity,
             order,
-            tasks: HashMap::with_capacity(capacity),
+            tasks: FxHashMap::default(),
+            occupied: 0,
             fifo: VecDeque::with_capacity(capacity),
-            finished_pending: HashMap::new(),
+            finished_pending: FxHashMap::default(),
             stats: TaskPoolStats::default(),
         }
     }
@@ -86,7 +92,7 @@ impl TaskPool {
 
     /// Number of occupied slots (admitted and not yet recycled).
     pub fn occupancy(&self) -> usize {
-        self.fifo.len()
+        self.occupied
     }
 
     /// True if a new task can be admitted right now.
@@ -109,7 +115,10 @@ impl TaskPool {
         let id = task.id;
         debug_assert!(!self.tasks.contains_key(&id), "{id} admitted twice");
         self.tasks.insert(id, task);
-        self.fifo.push_back(id);
+        self.occupied += 1;
+        if self.order == RetirementOrder::InOrder {
+            self.fifo.push_back(id);
+        }
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupancy());
         Ok(())
     }
@@ -128,9 +137,7 @@ impl TaskPool {
         match self.order {
             RetirementOrder::FreeList => {
                 self.tasks.remove(&id);
-                if let Some(pos) = self.fifo.iter().position(|&t| t == id) {
-                    self.fifo.remove(pos);
-                }
+                self.occupied -= 1;
                 self.stats.recycled += 1;
                 1
             }
@@ -141,6 +148,7 @@ impl TaskPool {
                     if self.finished_pending.remove(&head).is_some() {
                         self.fifo.pop_front();
                         self.tasks.remove(&head);
+                        self.occupied -= 1;
                         recycled += 1;
                     } else {
                         break;

@@ -22,9 +22,9 @@
 
 use crate::assoc::{Placement, SetAssocConfig, SetAssocTable};
 use crate::kickoff::DEFAULT_SEGMENT_CAPACITY;
+use nexus_sim::FxHashMap;
 use nexus_trace::{Direction, TaskId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One outstanding (unretired) access by one task parameter.
 #[derive(Debug, Clone)]
@@ -38,7 +38,7 @@ struct Access {
 #[derive(Debug, Clone, Default)]
 struct AddrState {
     /// Outstanding accesses, keyed by task.
-    outstanding: HashMap<TaskId, Access>,
+    outstanding: FxHashMap<TaskId, Access>,
     /// Outstanding writers in submission order (newest last). Almost always
     /// length 0–2 in practice.
     writer_order: Vec<TaskId>,
@@ -101,7 +101,7 @@ pub struct TrackerStats {
 pub struct DependencyTracker {
     table: SetAssocTable<AddrState>,
     /// Remaining blockers per (waiting task, address).
-    waiting: HashMap<(TaskId, u64), u32>,
+    waiting: FxHashMap<(TaskId, u64), u32>,
     stats: TrackerStats,
 }
 
@@ -110,7 +110,7 @@ impl DependencyTracker {
     pub fn new(config: SetAssocConfig) -> Self {
         DependencyTracker {
             table: SetAssocTable::new(config),
-            waiting: HashMap::new(),
+            waiting: FxHashMap::default(),
             stats: TrackerStats::default(),
         }
     }
