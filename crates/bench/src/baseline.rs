@@ -55,6 +55,14 @@ pub struct ScenarioRecord {
     pub steal_failures: u64,
     /// Link-words per fabric tier, in tier order (`(tier_name, words)`).
     pub link_words_per_tier: Vec<(String, u64)>,
+    /// Median submit→retire latency, microseconds (service scenarios only).
+    pub p50_us: Option<f64>,
+    /// 99th-percentile latency, microseconds (service scenarios only).
+    pub p99_us: Option<f64>,
+    /// 99.9th-percentile latency, microseconds (service scenarios only).
+    pub p999_us: Option<f64>,
+    /// Source back-pressure episodes (service scenarios only).
+    pub backpressure_events: Option<u64>,
 }
 
 /// A full baseline file: the tracked scenarios of one PR.
@@ -105,6 +113,23 @@ impl Baseline {
                 ("steal_failures".into(), Json::Num(s.steal_failures as f64)),
                 ("link_words_per_tier".into(), tiers),
             ]));
+            // Service-mode fields are optional: batch scenarios omit them, so
+            // baselines from before the streaming subsystem stay comparable.
+            let Some(Json::Obj(pairs)) = scenarios.last_mut() else {
+                unreachable!("scenario just pushed as an object");
+            };
+            if let Some(p50) = s.p50_us {
+                pairs.push(("p50_us".into(), Json::Num(p50)));
+            }
+            if let Some(p99) = s.p99_us {
+                pairs.push(("p99_us".into(), Json::Num(p99)));
+            }
+            if let Some(p999) = s.p999_us {
+                pairs.push(("p999_us".into(), Json::Num(p999)));
+            }
+            if let Some(bp) = s.backpressure_events {
+                pairs.push(("backpressure_events".into(), Json::Num(bp as f64)));
+            }
         }
         let root = Json::Obj(vec![
             ("schema".into(), Json::Str(Self::SCHEMA.into())),
@@ -195,6 +220,10 @@ impl ScenarioRecord {
             steals: num_field("steals")? as u64,
             steal_failures: num_field("steal_failures")? as u64,
             link_words_per_tier: tiers,
+            p50_us: v.get("p50_us").and_then(Json::as_f64),
+            p99_us: v.get("p99_us").and_then(Json::as_f64),
+            p999_us: v.get("p999_us").and_then(Json::as_f64),
+            backpressure_events: v.get("backpressure_events").and_then(Json::as_u64),
         })
     }
 }
@@ -288,6 +317,20 @@ pub fn compare(current: &Baseline, prior: &Baseline, cfg: &CompareConfig) -> Com
             if (r - 1.0).abs() > cfg.makespan_tolerance {
                 failures.push(format!(
                     "makespan drifted {:+.1}% (tolerance ±{:.0}%)",
+                    (r - 1.0) * 100.0,
+                    cfg.makespan_tolerance * 100.0
+                ));
+            }
+        }
+        // p99 latency of service scenarios: same relative tolerance as the
+        // makespan, only checked when both sides recorded it.
+        if let (Some(cur_p99), Some(old_p99)) =
+            (cur.p99_us, old.and_then(|o| o.p99_us).filter(|&p| p > 0.0))
+        {
+            let r = cur_p99 / old_p99;
+            if (r - 1.0).abs() > cfg.makespan_tolerance {
+                failures.push(format!(
+                    "p99 latency drifted {:+.1}% (tolerance ±{:.0}%)",
                     (r - 1.0) * 100.0,
                     cfg.makespan_tolerance * 100.0
                 ));
@@ -634,6 +677,10 @@ mod tests {
             steals: 0,
             steal_failures: 0,
             link_words_per_tier: vec![("hop".into(), 12345)],
+            p50_us: None,
+            p99_us: None,
+            p999_us: None,
+            backpressure_events: None,
         }
     }
 
@@ -692,6 +739,45 @@ mod tests {
         assert!(!report.is_ok());
         assert_eq!(report.deltas[0].failures.len(), 2, "{}", report.render());
         assert_eq!(report.missing, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn service_fields_roundtrip_and_are_optional() {
+        let mut svc = record("service", 100.0, 2.0e6);
+        svc.p50_us = Some(55.5);
+        svc.p99_us = Some(480.0);
+        svc.p999_us = Some(900.25);
+        svc.backpressure_events = Some(17);
+        let b = baseline(vec![record("batch", 10.0, 2.0e6), svc]);
+        let text = b.to_json();
+        // Batch scenarios carry no service keys at all.
+        assert_eq!(text.matches("p99_us").count(), 1);
+        let back = Baseline::from_json(&text).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn comparator_flags_p99_drift_only_when_both_sides_have_it() {
+        let mut old = record("svc", 100.0, 2.0e6);
+        old.p99_us = Some(100.0);
+        let mut bad = record("svc", 100.0, 2.0e6);
+        bad.p99_us = Some(200.0);
+        let report = compare(
+            &baseline(vec![bad]),
+            &baseline(vec![old.clone()]),
+            &CompareConfig::default(),
+        );
+        assert!(!report.is_ok());
+        assert!(report.deltas[0].failures[0].contains("p99"));
+        // A prior baseline without the field cannot fail the check.
+        let mut cur = record("svc", 100.0, 2.0e6);
+        cur.p99_us = Some(200.0);
+        let report = compare(
+            &baseline(vec![cur]),
+            &baseline(vec![record("svc", 100.0, 2.0e6)]),
+            &CompareConfig::default(),
+        );
+        assert!(report.is_ok(), "{}", report.render());
     }
 
     #[test]

@@ -22,16 +22,24 @@
 //!   `--compare` (default 100000).
 //! * `--baseline-only` — skip the human-readable report tables and only run
 //!   the baseline scenarios (what CI uses).
+//! * `--list-scenarios` — print the tracked scenario names and their trace
+//!   seeds (so baseline diffs are explainable without reading source) and
+//!   exit.
 
 use nexus_bench::baseline::{compare, Baseline, CompareConfig, ScenarioRecord};
 use nexus_bench::managers::ManagerKind;
 use nexus_bench::paper::table4_row;
 use nexus_bench::report::{fmt_speedup, Table};
-use nexus_bench::runner::{bench_scale, cluster_link, curves_for, event_engine};
+use nexus_bench::runner::{
+    admit_depth, bench_scale, cluster_link, cluster_policy, cluster_steal, cluster_topology,
+    curves_for, event_engine, service_arrival,
+};
 use nexus_cluster::{
-    simulate_cluster, ClusterConfig, ClusterOutcome, PolicyKind, StealKind, Topology,
+    simulate_cluster, AdmissionConfig, ClusterConfig, ClusterOutcome, PolicyKind, StealKind,
+    Topology,
 };
 use nexus_core::NexusSharp;
+use nexus_flow::{simulate_service, ArrivalConfig, ArrivalKind, ServiceConfig};
 use nexus_sim::SimDuration;
 use nexus_trace::generators::distributed;
 use nexus_trace::{Benchmark, Trace};
@@ -45,6 +53,7 @@ struct Options {
     tolerance: Option<f64>,
     min_events_per_sec: Option<f64>,
     baseline_only: bool,
+    list_scenarios: bool,
 }
 
 fn parse_args() -> Options {
@@ -80,10 +89,12 @@ fn parse_args() -> Options {
                 }));
             }
             "--baseline-only" => opts.baseline_only = true,
+            "--list-scenarios" => opts.list_scenarios = true,
             other => {
                 eprintln!(
                     "error: unknown argument {other:?} (valid: --json <path>, --compare <path>, \
-                     --tolerance <frac>, --min-events-per-sec <n>, --baseline-only)"
+                     --tolerance <frac>, --min-events-per-sec <n>, --baseline-only, \
+                     --list-scenarios)"
                 );
                 std::process::exit(2);
             }
@@ -94,6 +105,21 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
+    // Validate every environment knob up front: a typo aborts loudly (exit 2,
+    // listing the valid values) before any simulation runs, whatever flags
+    // were passed.
+    let _ = cluster_link();
+    let _ = cluster_policy();
+    let _ = cluster_steal();
+    let _ = cluster_topology();
+    let _ = event_engine();
+    let _ = service_arrival();
+    let _ = admit_depth();
+    let _ = bench_scale();
+    if opts.list_scenarios {
+        list_scenarios();
+        return;
+    }
     if !opts.baseline_only {
         report_tables();
     }
@@ -137,45 +163,71 @@ fn main() {
 }
 
 /// The PR number stamped into freshly written baselines.
-const BASELINE_PR: u64 = 6;
+const BASELINE_PR: u64 = 7;
 /// The workload scale of the tracked scenarios — fixed (independent of
 /// `NEXUS_BENCH_SCALE`) so baselines are comparable across runs.
 const BASELINE_SCALE: f64 = 0.01;
+
+/// The tracked baseline scenarios: name + the seed of the generated trace
+/// (also the arrival seed of the service scenario). Kept in sync with
+/// [`run_baseline_scenarios`] by an assertion there.
+const TRACKED_SCENARIOS: &[(&str, u64)] = &[
+    ("sparselu-8d-r0.0-n1-mesh", 42),
+    ("sparselu-8d-r0.0-n8-mesh", 42),
+    ("sparselu-8d-r0.5-n8-mesh", 42),
+    ("sparselu-8d-r0.5-n8-racktiers-topo-hier", 42),
+    ("imbalanced-4n-mostloaded", 42),
+    ("service-poisson-n4-depth16", 42),
+];
+
+/// Prints the tracked scenario names and trace seeds (`--list-scenarios`).
+fn list_scenarios() {
+    println!("tracked baseline scenarios (workload scale {BASELINE_SCALE}):");
+    for (name, seed) in TRACKED_SCENARIOS {
+        println!("  {name}  seed={seed}");
+    }
+}
 
 /// Runs the tracked baseline scenarios (fixed traces, fixed seeds, fixed
 /// configs — the simulated outcomes are fully deterministic; only the
 /// wall-clock fields vary between machines).
 fn run_baseline_scenarios() -> Baseline {
     let engine = event_engine();
+    let base_record =
+        |name: &str, out: &ClusterOutcome, wall: std::time::Duration| -> ScenarioRecord {
+            eprintln!("  [baseline {name}] {wall:?}, {} events", out.sim_events);
+            ScenarioRecord {
+                name: name.into(),
+                benchmark: out.benchmark.clone(),
+                topology: out.topology.clone(),
+                placement: out.placement.clone(),
+                stealing: out.stealing.clone(),
+                engine: engine.name().into(),
+                nodes: out.nodes as u64,
+                workers_per_node: out.workers_per_node as u64,
+                tasks: out.tasks,
+                makespan_us: out.makespan.as_us_f64(),
+                sim_events: out.sim_events,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                events_per_sec: out.sim_events as f64 / wall.as_secs_f64().max(1e-9),
+                steals: out.steals,
+                steal_failures: out.steal_failures,
+                link_words_per_tier: out
+                    .link
+                    .per_tier
+                    .iter()
+                    .map(|t| (t.name.clone(), t.words))
+                    .collect(),
+                p50_us: None,
+                p99_us: None,
+                p999_us: None,
+                backpressure_events: None,
+            }
+        };
     let record = |name: &str, trace: &Trace, cfg: ClusterConfig| -> ScenarioRecord {
         let t0 = Instant::now();
         let out: ClusterOutcome = simulate_cluster(trace, &cfg, |_| NexusSharp::paper(6));
-        let wall = t0.elapsed();
-        let wall_ms = wall.as_secs_f64() * 1e3;
-        eprintln!("  [baseline {name}] {wall:?}, {} events", out.sim_events);
-        ScenarioRecord {
-            name: name.into(),
-            benchmark: out.benchmark.clone(),
-            topology: out.topology.clone(),
-            placement: out.placement.clone(),
-            stealing: out.stealing.clone(),
-            engine: engine.name().into(),
-            nodes: out.nodes as u64,
-            workers_per_node: out.workers_per_node as u64,
-            tasks: out.tasks,
-            makespan_us: out.makespan.as_us_f64(),
-            sim_events: out.sim_events,
-            wall_ms,
-            events_per_sec: out.sim_events as f64 / wall.as_secs_f64().max(1e-9),
-            steals: out.steals,
-            steal_failures: out.steal_failures,
-            link_words_per_tier: out
-                .link
-                .per_tier
-                .iter()
-                .map(|t| (t.name.clone(), t.words))
-                .collect(),
-        }
+        base_record(name, &out, t0.elapsed())
     };
     let cfg = |nodes: usize| ClusterConfig::new(nodes, 8).with_engine(engine);
     let sparselu = |remote: f64| distributed::sparselu(8, remote, 42, BASELINE_SCALE);
@@ -199,7 +251,39 @@ fn run_baseline_scenarios() -> Baseline {
             &skewed,
             cfg(4).with_stealing(StealKind::MostLoaded),
         ),
+        {
+            // The service scenario is pinned to Poisson arrivals at depth 16 —
+            // NOT the NEXUS_ARRIVAL / NEXUS_ADMIT_DEPTH knobs — so the
+            // baseline stays comparable across runs.
+            let name = "service-poisson-n4-depth16";
+            let trace = distributed::sparselu(4, 0.3, 42, BASELINE_SCALE);
+            let service = ServiceConfig::new(ArrivalConfig::new(
+                ArrivalKind::Poisson,
+                SimDuration::from_us(40),
+                42,
+            ))
+            .with_admission(AdmissionConfig::new(16));
+            let t0 = Instant::now();
+            let out = simulate_service(&trace, &service, &cfg(4), |_| NexusSharp::paper(6));
+            let mut rec = base_record(name, &out.stream.cluster, t0.elapsed());
+            rec.p50_us = Some(out.p50().as_us_f64());
+            rec.p99_us = Some(out.p99().as_us_f64());
+            rec.p999_us = Some(out.p999().as_us_f64());
+            rec.backpressure_events = Some(out.backpressure_events());
+            rec
+        },
     ];
+    assert_eq!(
+        scenarios
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>(),
+        TRACKED_SCENARIOS
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>(),
+        "TRACKED_SCENARIOS is out of sync with run_baseline_scenarios"
+    );
     Baseline {
         pr: BASELINE_PR,
         scale: BASELINE_SCALE,
@@ -259,6 +343,7 @@ fn report_tables() {
     cluster_section();
     policy_section();
     topology_section();
+    service_section();
 }
 
 /// A small cluster-scalability sample: a 4-domain partitioned sparselu under
@@ -398,4 +483,58 @@ fn topology_section() {
         ]);
     }
     table.print();
+}
+
+/// A small open-loop service sample: a knee sweep of the arrival process
+/// selected by `NEXUS_ARRIVAL` (depth from `NEXUS_ADMIT_DEPTH`) over a fixed
+/// 4-node sparselu trace (see the `service_latency` bench for the full
+/// sweep). Points above the knee show back-pressure and a climbing p99.
+fn service_section() {
+    let kind = service_arrival();
+    if kind == ArrivalKind::ClosedLoop {
+        println!("Quick service run: skipped (NEXUS_ARRIVAL=closed is not an open-loop process)\n");
+        return;
+    }
+    let link = cluster_link();
+    let trace = distributed::sparselu(4, 0.3, 42, 0.002);
+    let base = ServiceConfig::new(ArrivalConfig::new(kind, SimDuration::from_us(40), 42))
+        .with_admission(AdmissionConfig::new(admit_depth()));
+    let cfg = ClusterConfig::new(4, 8).with_link(link);
+    let report = nexus_flow::knee_sweep(&trace, &base, &cfg, &[0.25, 0.5, 1.0, 2.0, 8.0], |_| {
+        NexusSharp::paper(6)
+    });
+    let mut table = Table::new(
+        format!(
+            "Quick service run: dist-sparselu, {kind} arrivals, depth {}, 4 nodes",
+            base.admission.depth
+        ),
+        &[
+            "load",
+            "offered/s",
+            "done/s",
+            "p50",
+            "p99",
+            "p99.9",
+            "backpressure",
+        ],
+    );
+    for p in &report.points {
+        table.row(vec![
+            format!("{:.2}x", p.load_factor),
+            format!("{:.0}", p.offered_per_sec),
+            format!("{:.0}", p.completed_per_sec),
+            format!("{}", p.p50),
+            format!("{}", p.p99),
+            format!("{}", p.p999),
+            format!("{}", p.backpressure_events),
+        ]);
+    }
+    table.print();
+    match report.knee() {
+        Some(k) => println!(
+            "knee: {:.0} offered/s sustained without back-pressure\n",
+            k.offered_per_sec
+        ),
+        None => println!("knee: below the lowest point of the ramp\n"),
+    }
 }

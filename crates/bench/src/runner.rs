@@ -94,6 +94,40 @@ pub fn event_engine() -> nexus_sim::EngineKind {
         .unwrap_or_else(|e: String| env_knob_error("NEXUS_EVENT_ENGINE", &e))
 }
 
+/// The arrival process used by the service benches:
+/// `NEXUS_ARRIVAL=poisson` (default), `bursty`, `diurnal` or `closed`,
+/// case-insensitively. Typos abort with the list of valid values.
+pub fn service_arrival() -> nexus_flow::ArrivalKind {
+    let Ok(raw) = std::env::var("NEXUS_ARRIVAL") else {
+        return nexus_flow::ArrivalKind::Poisson;
+    };
+    raw.parse()
+        .unwrap_or_else(|e: String| env_knob_error("NEXUS_ARRIVAL", &e))
+}
+
+/// The per-node admission depth used by the service benches:
+/// `NEXUS_ADMIT_DEPTH=<n>` (default
+/// [`AdmissionConfig::DEFAULT_DEPTH`](nexus_cluster::AdmissionConfig::DEFAULT_DEPTH)).
+/// Zero or unparsable values abort loudly.
+pub fn admit_depth() -> usize {
+    let Ok(raw) = std::env::var("NEXUS_ADMIT_DEPTH") else {
+        return nexus_cluster::AdmissionConfig::DEFAULT_DEPTH;
+    };
+    let v: usize = raw.trim().parse().unwrap_or_else(|_| {
+        env_knob_error(
+            "NEXUS_ADMIT_DEPTH",
+            &format!("unparsable admission depth {raw:?} (expected a positive integer)"),
+        )
+    });
+    if v == 0 {
+        env_knob_error(
+            "NEXUS_ADMIT_DEPTH",
+            "admission depth 0 can never admit (expected a positive integer)",
+        );
+    }
+    v
+}
+
 /// The workload scale factor used by the benches: `NEXUS_FULL=1` forces 1.0,
 /// otherwise `NEXUS_BENCH_SCALE` (default 0.1). Unparsable or non-finite
 /// values abort loudly — a typo like `0,3` must not silently size the whole
@@ -179,6 +213,8 @@ mod tests {
         assert_eq!(cluster_policy(), nexus_sched::PolicyKind::XorHash);
         assert_eq!(cluster_steal(), nexus_sched::StealKind::Disabled);
         assert_eq!(cluster_topology(), None);
+        assert_eq!(service_arrival(), nexus_flow::ArrivalKind::Poisson);
+        assert_eq!(admit_depth(), nexus_cluster::AdmissionConfig::DEFAULT_DEPTH);
     }
 
     #[test]

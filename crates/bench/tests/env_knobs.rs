@@ -1,0 +1,140 @@
+//! Regression tests for the environment knobs of the bench harness: every
+//! unknown value must abort loudly (exit 2) listing the valid options, and
+//! valid values must be accepted case-insensitively.
+//!
+//! The knobs are validated by `quick_report` before it does anything else, so
+//! spawning it with `--list-scenarios` (which exits immediately after the
+//! validation) keeps each probe fast.
+
+use std::process::{Command, Output};
+
+fn quick_report(envs: &[(&str, &str)], args: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_quick_report"));
+    // Isolate from the caller's environment so only the probed knob is set.
+    for var in [
+        "NEXUS_LINK",
+        "NEXUS_POLICY",
+        "NEXUS_STEAL",
+        "NEXUS_TOPO",
+        "NEXUS_EVENT_ENGINE",
+        "NEXUS_ARRIVAL",
+        "NEXUS_ADMIT_DEPTH",
+        "NEXUS_BENCH_SCALE",
+        "NEXUS_FULL",
+    ] {
+        cmd.env_remove(var);
+    }
+    cmd.envs(envs.iter().copied()).args(args);
+    cmd.output().expect("spawning quick_report must succeed")
+}
+
+/// Asserts that setting `var=value` aborts with exit code 2 and a message
+/// naming the knob and listing `expected` as part of the valid options.
+fn assert_aborts(var: &str, value: &str, expected: &str) {
+    let out = quick_report(&[(var, value)], &["--list-scenarios"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{var}={value} must abort with exit 2 (stderr: {stderr})"
+    );
+    assert!(
+        stderr.contains(var),
+        "abort message must name the knob {var}: {stderr}"
+    );
+    assert!(
+        stderr.contains(expected),
+        "abort message must list the valid options ({expected}): {stderr}"
+    );
+}
+
+#[test]
+fn unknown_event_engine_aborts_listing_options() {
+    assert_aborts("NEXUS_EVENT_ENGINE", "ringbuffer", "heap | calendar");
+}
+
+#[test]
+fn unknown_arrival_kind_aborts_listing_options() {
+    assert_aborts("NEXUS_ARRIVAL", "steady", "poisson|bursty|diurnal|closed");
+}
+
+#[test]
+fn bad_admit_depth_aborts() {
+    assert_aborts("NEXUS_ADMIT_DEPTH", "many", "positive integer");
+    // Depth 0 parses but can never admit anything — equally fatal.
+    assert_aborts("NEXUS_ADMIT_DEPTH", "0", "positive integer");
+}
+
+#[test]
+fn unknown_link_aborts_listing_options() {
+    assert_aborts("NEXUS_LINK", "carrier-pigeon", "rdma|ethernet|ideal");
+}
+
+#[test]
+fn unknown_policy_aborts_listing_options() {
+    assert_aborts("NEXUS_POLICY", "roundrobin", "xorhash");
+}
+
+#[test]
+fn unknown_steal_aborts_listing_options() {
+    assert_aborts("NEXUS_STEAL", "sometimes", "steal");
+}
+
+#[test]
+fn unknown_topology_aborts_listing_options() {
+    assert_aborts("NEXUS_TOPO", "hypercube", "mesh");
+}
+
+#[test]
+fn valid_knobs_are_case_insensitive() {
+    let out = quick_report(
+        &[
+            ("NEXUS_EVENT_ENGINE", "HeAp"),
+            ("NEXUS_ARRIVAL", "PoIsSoN"),
+            ("NEXUS_ADMIT_DEPTH", "16"),
+            ("NEXUS_LINK", "RDMA"),
+        ],
+        &["--list-scenarios"],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "mixed-case valid knobs must be accepted: {stderr}"
+    );
+}
+
+#[test]
+fn list_scenarios_prints_names_and_seeds() {
+    let out = quick_report(&[], &["--list-scenarios"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "sparselu-8d-r0.0-n1-mesh",
+        "sparselu-8d-r0.0-n8-mesh",
+        "sparselu-8d-r0.5-n8-mesh",
+        "sparselu-8d-r0.5-n8-racktiers-topo-hier",
+        "imbalanced-4n-mostloaded",
+        "service-poisson-n4-depth16",
+    ] {
+        assert!(
+            stdout.contains(name),
+            "--list-scenarios must print {name}: {stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("seed=42"),
+        "--list-scenarios must print the trace seeds: {stdout}"
+    );
+}
+
+#[test]
+fn unknown_cli_flag_aborts_listing_flags() {
+    let out = quick_report(&[], &["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--list-scenarios"),
+        "usage message must list the new flag: {stderr}"
+    );
+}

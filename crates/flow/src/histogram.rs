@@ -1,0 +1,338 @@
+//! Fixed log-bucket latency histogram: integer-only, deterministic merges.
+//!
+//! Service percentiles must survive two things a `Vec<f64>` does not: *merges*
+//! (per-shard histograms combined in any order must give the same answer) and
+//! *determinism* (no float accumulation whose result depends on summation
+//! order). [`LatencyHistogram`] therefore buckets raw picosecond values into a
+//! fixed log₂ grid with [`SUB`] sub-buckets per octave: every bucket spans at
+//! most `1/SUB` of its value (≤ 3.125 % relative width), counts are plain
+//! `u64` adds, and a percentile is *the upper bound of the bucket holding the
+//! rank* (clamped to the observed maximum) — a deterministic integer, never an
+//! interpolation.
+//!
+//! The grid is value-independent (no rescaling, no per-histogram
+//! configuration), so merging is element-wise addition: associative,
+//! commutative, and bit-identical regardless of shard order.
+
+use nexus_sim::SimDuration;
+
+/// log₂ of the sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per octave; also the relative resolution (1/32 ≈ 3.125 %).
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Total buckets: values below [`SUB`] get exact unit buckets, every octave
+/// above contributes [`SUB`] buckets, up to the full `u64` range.
+const BUCKETS: usize = ((64 - SUB_BITS + 1) * SUB as u32) as usize;
+
+/// Bucket index of a raw value (monotonic in `v`).
+#[inline]
+fn index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let octave = msb - SUB_BITS;
+        ((octave + 1) * SUB as u32) as usize + ((v >> octave) - SUB) as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`.
+#[inline]
+fn bounds(i: usize) -> (u64, u64) {
+    if i < SUB as usize {
+        (i as u64, i as u64)
+    } else {
+        let octave = (i as u64 / SUB - 1) as u32;
+        let sub = i as u64 % SUB;
+        let lo = (SUB + sub) << octave;
+        // `(1 << octave) - 1` first: the top octave's `hi` is exactly
+        // `u64::MAX` and `lo + (1 << octave)` would overflow.
+        (lo, lo + ((1u64 << octave) - 1))
+    }
+}
+
+/// A fixed log-bucket histogram over `u64` picosecond latencies (see the
+/// [module docs](self)).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// A histogram over a batch of latencies.
+    pub fn from_latencies(latencies: &[SimDuration]) -> Self {
+        let mut h = Self::new();
+        for &d in latencies {
+            h.record(d);
+        }
+        h
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.record_ps(latency.as_ps());
+    }
+
+    /// Records one raw picosecond sample.
+    pub fn record_ps(&mut self, v: u64) {
+        self.counts[index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`: element-wise, associative, commutative.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample ([`SimDuration::ZERO`] when empty).
+    pub fn min(&self) -> SimDuration {
+        if self.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_ps(self.min)
+        }
+    }
+
+    /// Largest recorded sample ([`SimDuration::ZERO`] when empty).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_ps(self.max)
+    }
+
+    /// Exact arithmetic mean (integer sum, one final division).
+    pub fn mean(&self) -> SimDuration {
+        if self.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_ps((self.sum / self.count as u128) as u64)
+        }
+    }
+
+    /// The `ppm`-th permille-of-permille percentile (parts per million:
+    /// `500_000` = p50, `990_000` = p99, `999_000` = p99.9). Returns the
+    /// upper bound of the bucket holding that rank, clamped to the observed
+    /// maximum — within one bucket width (≤ 3.125 %) of the exact order
+    /// statistic. [`SimDuration::ZERO`] when empty.
+    pub fn percentile_ppm(&self, ppm: u64) -> SimDuration {
+        if self.is_empty() {
+            return SimDuration::ZERO;
+        }
+        // Integer ceiling rank in 1..=count (u128: no overflow for any count).
+        let rank = (self.count as u128 * ppm as u128).div_ceil(1_000_000);
+        let rank = rank.clamp(1, self.count as u128);
+        let mut seen: u128 = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c as u128;
+            if seen >= rank {
+                let (_, hi) = bounds(i);
+                return SimDuration::from_ps(hi.min(self.max));
+            }
+        }
+        SimDuration::from_ps(self.max)
+    }
+
+    /// Median (see [`LatencyHistogram::percentile_ppm`]).
+    pub fn p50(&self) -> SimDuration {
+        self.percentile_ppm(500_000)
+    }
+
+    /// 99th percentile (see [`LatencyHistogram::percentile_ppm`]).
+    pub fn p99(&self) -> SimDuration {
+        self.percentile_ppm(990_000)
+    }
+
+    /// 99.9th percentile (see [`LatencyHistogram::percentile_ppm`]).
+    pub fn p999(&self) -> SimDuration {
+        self.percentile_ppm(999_000)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("p999", &self.p999())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_bounds_invert_it() {
+        // Probe around every power of two plus a pseudo-random spread.
+        let mut vs: Vec<u64> = vec![0, 1, 2, u64::MAX];
+        for shift in 1..64u32 {
+            let p = 1u64 << shift;
+            vs.extend([p - 1, p, p + 1, p + (p >> 1)]);
+        }
+        let mut rng = nexus_sim::SimRng::new(7);
+        vs.extend((0..1000).map(|_| rng.next_u64()));
+        vs.sort_unstable();
+        let mut prev = 0usize;
+        for &v in &vs {
+            let i = index(v);
+            assert!(i >= prev, "index not monotonic at v={v}");
+            prev = i;
+            assert!(i < BUCKETS);
+            let (lo, hi) = bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} not in [{lo},{hi}] (bucket {i})");
+            // Relative width is bounded by 1/SUB of the bucket's low end.
+            assert!(hi - lo <= (lo / SUB).max(1));
+        }
+    }
+
+    #[test]
+    fn exact_below_sub() {
+        for v in 0..SUB {
+            assert_eq!(bounds(index(v)), (v, v));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), SimDuration::ZERO);
+        assert_eq!(h.p999(), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_us(7));
+        assert_eq!(h.count(), 1);
+        // Every percentile of a single sample is (clamped to) that sample.
+        assert_eq!(h.p50(), SimDuration::from_us(7));
+        assert_eq!(h.p99(), SimDuration::from_us(7));
+        assert_eq!(h.p999(), SimDuration::from_us(7));
+        assert_eq!(h.mean(), SimDuration::from_us(7));
+    }
+
+    #[test]
+    fn percentile_error_is_bounded_by_the_bucket_width() {
+        // Deterministic pseudo-random samples; compare against the exact
+        // order statistic from a sorted copy.
+        let mut rng = nexus_sim::SimRng::new(0xF10A);
+        let samples: Vec<u64> = (0..10_000)
+            .map(|_| rng.next_below(1_000_000_000) + 1)
+            .collect();
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record_ps(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for ppm in [100_000u64, 500_000, 900_000, 990_000, 999_000, 1_000_000] {
+            let rank = ((sorted.len() as u128 * ppm as u128).div_ceil(1_000_000))
+                .clamp(1, sorted.len() as u128) as usize;
+            let exact = sorted[rank - 1];
+            let approx = h.percentile_ppm(ppm).as_ps();
+            assert!(approx >= exact, "p{ppm}: {approx} < exact {exact}");
+            // Upper bound of the exact value's bucket ⇒ within one bucket
+            // width above the exact order statistic.
+            let (lo, hi) = bounds(index(exact));
+            assert!(
+                approx <= hi,
+                "p{ppm}: {approx} above bucket [{lo},{hi}] of {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_the_union() {
+        let mut rng = nexus_sim::SimRng::new(42);
+        let shards: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..500).map(|_| rng.next_below(10_000_000)).collect())
+            .collect();
+        let hs: Vec<LatencyHistogram> = shards
+            .iter()
+            .map(|s| {
+                let mut h = LatencyHistogram::new();
+                for &v in s {
+                    h.record_ps(v);
+                }
+                h
+            })
+            .collect();
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c) == union recorded directly.
+        let mut left = hs[0].clone();
+        left.merge(&hs[1]);
+        left.merge(&hs[2]);
+        let mut right = hs[2].clone();
+        right.merge(&hs[1]);
+        right.merge(&hs[0]);
+        let mut union = LatencyHistogram::new();
+        for s in &shards {
+            for &v in s {
+                union.record_ps(v);
+            }
+        }
+        for h in [&left, &right] {
+            assert_eq!(h.count(), union.count());
+            for ppm in [500_000u64, 990_000, 999_000] {
+                assert_eq!(h.percentile_ppm(ppm), union.percentile_ppm(ppm));
+            }
+            assert_eq!(h.mean(), union.mean());
+            assert_eq!(h.min(), union.min());
+            assert_eq!(h.max(), union.max());
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h =
+            LatencyHistogram::from_latencies(&[SimDuration::from_us(1), SimDuration::from_us(100)]);
+        let before = format!("{h:?}");
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(format!("{h:?}"), before);
+    }
+}

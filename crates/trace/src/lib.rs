@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod arrivals;
 pub mod generators;
 pub mod stats;
 pub mod task;
 pub mod trace;
 
 pub use addr::AddrRegion;
+pub use arrivals::ArrivalOverlay;
 pub use generators::{standard_suite, Benchmark};
 pub use stats::TraceStats;
 pub use task::{Direction, FunctionId, TaskDescriptor, TaskId, TaskParam};
@@ -36,6 +38,7 @@ pub use trace::{Trace, TraceOp};
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::addr::AddrRegion;
+    pub use crate::arrivals::ArrivalOverlay;
     pub use crate::generators::{standard_suite, Benchmark};
     pub use crate::stats::TraceStats;
     pub use crate::task::{Direction, FunctionId, TaskDescriptor, TaskId, TaskParam};

@@ -18,6 +18,7 @@
 //! | [`topo`] | `nexus-topo` | non-uniform interconnect topologies (fabric graphs, distance matrices) |
 //! | [`sched`] | `nexus-sched` | pluggable placement and work-stealing policies |
 //! | [`cluster`] | `nexus-cluster` | multi-node cluster simulation with an interconnect model |
+//! | [`flow`] | `nexus-flow` | streaming ingestion: open-loop arrivals, latency percentiles, knee sweeps |
 //! | [`rt`] | `nexus-rt` | a real threaded runtime using the Nexus# algorithm |
 //!
 //! ## Quick example
@@ -42,6 +43,7 @@
 
 pub use nexus_cluster as cluster;
 pub use nexus_core as sharp;
+pub use nexus_flow as flow;
 pub use nexus_host as host;
 pub use nexus_nanos as nanos;
 pub use nexus_pp as pp;
@@ -55,8 +57,13 @@ pub use nexus_trace as trace;
 
 /// Commonly used items from across the workspace.
 pub mod prelude {
-    pub use nexus_cluster::{simulate_cluster, ClusterConfig, ClusterOutcome, LinkConfig};
+    pub use nexus_cluster::{
+        simulate_cluster, AdmissionConfig, ClusterConfig, ClusterOutcome, LinkConfig,
+    };
     pub use nexus_core::{NexusSharp, NexusSharpConfig};
+    pub use nexus_flow::{
+        simulate_service, ArrivalConfig, ArrivalKind, LatencyHistogram, ServiceConfig,
+    };
     pub use nexus_host::{simulate, HostConfig, IdealManager, SimOutcome, TaskManager};
     pub use nexus_nanos::NanosRuntime;
     pub use nexus_pp::{NexusPP, NexusPPConfig};
