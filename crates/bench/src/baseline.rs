@@ -65,6 +65,30 @@ pub struct ScenarioRecord {
     pub backpressure_events: Option<u64>,
 }
 
+/// One live-runtime (`nexus-rt`) smoke measurement: real threads executing a
+/// trace, so every number here is **wall clock** and machine-dependent. The
+/// record is informational — [`compare`] never fails on it (unlike the
+/// simulated makespans, which are deterministic and tolerance-checked).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeRecord {
+    /// Trace name the runtime executed.
+    pub benchmark: String,
+    /// Steal-policy name (`"off"` when disabled).
+    pub stealing: String,
+    /// Runtime nodes (manager threads).
+    pub nodes: u64,
+    /// Worker threads per node.
+    pub workers_per_node: u64,
+    /// Tasks retired.
+    pub tasks: u64,
+    /// Wall-clock milliseconds from first submission to a drained barrier.
+    pub wall_ms: f64,
+    /// `tasks / wall_seconds` — live end-to-end task throughput.
+    pub tasks_per_sec: f64,
+    /// Descriptors stolen between the live nodes.
+    pub steals: u64,
+}
+
 /// A full baseline file: the tracked scenarios of one PR.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Baseline {
@@ -74,6 +98,9 @@ pub struct Baseline {
     pub scale: f64,
     /// The recorded scenarios.
     pub scenarios: Vec<ScenarioRecord>,
+    /// The live-runtime smoke record, when the run included one. Optional so
+    /// baselines recorded before `nexus-rt` existed still parse.
+    pub runtime: Option<RuntimeRecord>,
 }
 
 impl Baseline {
@@ -131,13 +158,32 @@ impl Baseline {
                 pairs.push(("backpressure_events".into(), Json::Num(bp as f64)));
             }
         }
-        let root = Json::Obj(vec![
+        let mut root_pairs = vec![
             ("schema".into(), Json::Str(Self::SCHEMA.into())),
             ("version".into(), Json::Num(Self::VERSION as f64)),
             ("pr".into(), Json::Num(self.pr as f64)),
             ("scale".into(), Json::Num(self.scale)),
             ("scenarios".into(), Json::Arr(scenarios)),
-        ]);
+        ];
+        if let Some(rt) = &self.runtime {
+            root_pairs.push((
+                "runtime".into(),
+                Json::Obj(vec![
+                    ("benchmark".into(), Json::Str(rt.benchmark.clone())),
+                    ("stealing".into(), Json::Str(rt.stealing.clone())),
+                    ("nodes".into(), Json::Num(rt.nodes as f64)),
+                    (
+                        "workers_per_node".into(),
+                        Json::Num(rt.workers_per_node as f64),
+                    ),
+                    ("tasks".into(), Json::Num(rt.tasks as f64)),
+                    ("wall_ms".into(), Json::Num(rt.wall_ms)),
+                    ("tasks_per_sec".into(), Json::Num(rt.tasks_per_sec)),
+                    ("steals".into(), Json::Num(rt.steals as f64)),
+                ]),
+            ));
+        }
+        let root = Json::Obj(root_pairs);
         let mut out = String::new();
         root.write(&mut out, 0);
         out.push('\n');
@@ -157,10 +203,15 @@ impl Baseline {
             .iter()
             .map(ScenarioRecord::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        let runtime = match root.get("runtime") {
+            Some(v) => Some(RuntimeRecord::from_json(v)?),
+            None => None,
+        };
         Ok(Baseline {
             pr: root.get("pr").and_then(Json::as_u64).unwrap_or(0),
             scale: root.get("scale").and_then(Json::as_f64).unwrap_or(0.0),
             scenarios,
+            runtime,
         })
     }
 
@@ -224,6 +275,32 @@ impl ScenarioRecord {
             p99_us: v.get("p99_us").and_then(Json::as_f64),
             p999_us: v.get("p999_us").and_then(Json::as_f64),
             backpressure_events: v.get("backpressure_events").and_then(Json::as_u64),
+        })
+    }
+}
+
+impl RuntimeRecord {
+    fn from_json(v: &Json) -> Result<RuntimeRecord, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("runtime record missing string field {k:?}"))
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("runtime record missing numeric field {k:?}"))
+        };
+        Ok(RuntimeRecord {
+            benchmark: str_field("benchmark")?,
+            stealing: str_field("stealing")?,
+            nodes: num_field("nodes")? as u64,
+            workers_per_node: num_field("workers_per_node")? as u64,
+            tasks: num_field("tasks")? as u64,
+            wall_ms: num_field("wall_ms")?,
+            tasks_per_sec: num_field("tasks_per_sec")?,
+            steals: num_field("steals")? as u64,
         })
     }
 }
@@ -689,6 +766,7 @@ mod tests {
             pr: 6,
             scale: 0.01,
             scenarios,
+            runtime: None,
         }
     }
 
@@ -775,6 +853,35 @@ mod tests {
         let report = compare(
             &baseline(vec![cur]),
             &baseline(vec![record("svc", 100.0, 2.0e6)]),
+            &CompareConfig::default(),
+        );
+        assert!(report.is_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn runtime_record_roundtrips_and_stays_optional() {
+        let mut b = baseline(vec![record("a", 100.0, 2.0e6)]);
+        // Without a runtime record the key is absent entirely, so baselines
+        // from before nexus-rt parse unchanged.
+        assert!(!b.to_json().contains("runtime"));
+        b.runtime = Some(RuntimeRecord {
+            benchmark: "dist-imbalanced".into(),
+            stealing: "steal".into(),
+            nodes: 4,
+            workers_per_node: 2,
+            tasks: 480,
+            wall_ms: 12.5,
+            tasks_per_sec: 38_400.0,
+            steals: 37,
+        });
+        let text = b.to_json();
+        let back = Baseline::from_json(&text).unwrap();
+        assert_eq!(b, back);
+        // The live numbers are informational: the comparator never fails on
+        // them, even against a prior baseline without a record.
+        let report = compare(
+            &back,
+            &baseline(vec![record("a", 100.0, 2.0e6)]),
             &CompareConfig::default(),
         );
         assert!(report.is_ok(), "{}", report.render());

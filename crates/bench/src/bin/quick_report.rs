@@ -26,13 +26,13 @@
 //!   seeds (so baseline diffs are explainable without reading source) and
 //!   exit.
 
-use nexus_bench::baseline::{compare, Baseline, CompareConfig, ScenarioRecord};
+use nexus_bench::baseline::{compare, Baseline, CompareConfig, RuntimeRecord, ScenarioRecord};
 use nexus_bench::managers::ManagerKind;
 use nexus_bench::paper::table4_row;
 use nexus_bench::report::{fmt_speedup, Table};
 use nexus_bench::runner::{
     admit_depth, bench_scale, cluster_link, cluster_policy, cluster_steal, cluster_topology,
-    curves_for, event_engine, service_arrival,
+    curves_for, event_engine, rt_nodes, rt_workers, service_arrival,
 };
 use nexus_cluster::{
     simulate_cluster, AdmissionConfig, ClusterConfig, ClusterOutcome, PolicyKind, StealKind,
@@ -116,6 +116,8 @@ fn main() {
     let _ = service_arrival();
     let _ = admit_depth();
     let _ = bench_scale();
+    let _ = rt_workers();
+    let _ = rt_nodes();
     if opts.list_scenarios {
         list_scenarios();
         return;
@@ -163,7 +165,7 @@ fn main() {
 }
 
 /// The PR number stamped into freshly written baselines.
-const BASELINE_PR: u64 = 7;
+const BASELINE_PR: u64 = 8;
 /// The workload scale of the tracked scenarios — fixed (independent of
 /// `NEXUS_BENCH_SCALE`) so baselines are comparable across runs.
 const BASELINE_SCALE: f64 = 0.01;
@@ -288,6 +290,44 @@ fn run_baseline_scenarios() -> Baseline {
         pr: BASELINE_PR,
         scale: BASELINE_SCALE,
         scenarios,
+        runtime: Some(runtime_record()),
+    }
+}
+
+/// Runs the live-runtime smoke workload: `nexus-rt` executing a skewed
+/// imbalanced trace on real threads (`NEXUS_RT_NODES` manager threads ×
+/// `NEXUS_RT_WORKERS` workers each) under most-loaded stealing. Every number
+/// is wall clock, so the record is informational — recorded in the baseline
+/// but never compared (unlike the simulated makespans).
+fn runtime_record() -> RuntimeRecord {
+    let nodes = rt_nodes();
+    let workers = rt_workers();
+    let stealing = StealKind::MostLoaded;
+    let trace = distributed::imbalanced(nodes, 120, 4.0, SimDuration::from_us(30), 0.2, 42);
+    let cfg = nexus_rt::RtConfig::new(nodes, workers).with_stealing(stealing);
+    let mut rt = nexus_rt::ClusterRuntime::new(cfg);
+    let handle = rt.start();
+    let t0 = Instant::now();
+    let run = handle
+        .run_trace(&trace)
+        .expect("live runtime shut down mid-replay");
+    let wall = t0.elapsed();
+    let stats = handle.node_stats();
+    let report = rt.shutdown_timeout(std::time::Duration::from_secs(60));
+    assert_eq!(report.pending, 0, "live runtime failed to drain");
+    eprintln!(
+        "  [runtime {}] {wall:?}, {} tasks on {nodes}x{workers} threads",
+        trace.name, run.retired
+    );
+    RuntimeRecord {
+        benchmark: trace.name.clone(),
+        stealing: stealing.build().name().into(),
+        nodes: nodes as u64,
+        workers_per_node: workers as u64,
+        tasks: run.retired,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        tasks_per_sec: run.retired as f64 / wall.as_secs_f64().max(1e-9),
+        steals: stats.iter().map(|s| s.stolen_in).sum(),
     }
 }
 
@@ -344,6 +384,37 @@ fn report_tables() {
     policy_section();
     topology_section();
     service_section();
+    runtime_section();
+}
+
+/// The live-runtime smoke sample: the same placement/stealing policies, real
+/// threads (see `nexus-rt`). Wall-clock numbers, machine-dependent.
+fn runtime_section() {
+    let r = runtime_record();
+    let mut table = Table::new(
+        "Quick runtime run: nexus-rt live threads (wall clock)",
+        &[
+            "trace",
+            "stealing",
+            "nodes",
+            "workers",
+            "tasks",
+            "wall ms",
+            "tasks/sec",
+            "steals",
+        ],
+    );
+    table.row(vec![
+        r.benchmark.clone(),
+        r.stealing.clone(),
+        format!("{}", r.nodes),
+        format!("{}", r.workers_per_node),
+        format!("{}", r.tasks),
+        format!("{:.1}", r.wall_ms),
+        format!("{:.0}", r.tasks_per_sec),
+        format!("{}", r.steals),
+    ]);
+    table.print();
 }
 
 /// A small cluster-scalability sample: a 4-domain partitioned sparselu under

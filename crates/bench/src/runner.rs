@@ -128,6 +128,39 @@ pub fn admit_depth() -> usize {
     v
 }
 
+/// Parses a positive integer knob shared by the runtime-smoke benches.
+fn positive_usize_knob(var: &str, what: &str, default: usize) -> usize {
+    let Ok(raw) = std::env::var(var) else {
+        return default;
+    };
+    let v: usize = raw.trim().parse().unwrap_or_else(|_| {
+        env_knob_error(
+            var,
+            &format!("unparsable {what} {raw:?} (expected a positive integer)"),
+        )
+    });
+    if v == 0 {
+        env_knob_error(
+            var,
+            &format!("{what} 0 makes an empty runtime (expected a positive integer)"),
+        );
+    }
+    v
+}
+
+/// Worker threads per node for the live-runtime benches:
+/// `NEXUS_RT_WORKERS=<n>` (default 2). Zero or unparsable values abort
+/// loudly.
+pub fn rt_workers() -> usize {
+    positive_usize_knob("NEXUS_RT_WORKERS", "worker count", 2)
+}
+
+/// Node count for the live-runtime benches: `NEXUS_RT_NODES=<n>` (default
+/// 4). Zero or unparsable values abort loudly.
+pub fn rt_nodes() -> usize {
+    positive_usize_knob("NEXUS_RT_NODES", "node count", 4)
+}
+
 /// The workload scale factor used by the benches: `NEXUS_FULL=1` forces 1.0,
 /// otherwise `NEXUS_BENCH_SCALE` (default 0.1). Unparsable or non-finite
 /// values abort loudly — a typo like `0,3` must not silently size the whole
@@ -215,6 +248,8 @@ mod tests {
         assert_eq!(cluster_topology(), None);
         assert_eq!(service_arrival(), nexus_flow::ArrivalKind::Poisson);
         assert_eq!(admit_depth(), nexus_cluster::AdmissionConfig::DEFAULT_DEPTH);
+        assert_eq!(rt_workers(), 2);
+        assert_eq!(rt_nodes(), 4);
     }
 
     #[test]

@@ -21,6 +21,8 @@ fn quick_report(envs: &[(&str, &str)], args: &[&str]) -> Output {
         "NEXUS_ADMIT_DEPTH",
         "NEXUS_BENCH_SCALE",
         "NEXUS_FULL",
+        "NEXUS_RT_WORKERS",
+        "NEXUS_RT_NODES",
     ] {
         cmd.env_remove(var);
     }
@@ -63,6 +65,19 @@ fn bad_admit_depth_aborts() {
     assert_aborts("NEXUS_ADMIT_DEPTH", "many", "positive integer");
     // Depth 0 parses but can never admit anything — equally fatal.
     assert_aborts("NEXUS_ADMIT_DEPTH", "0", "positive integer");
+}
+
+#[test]
+fn bad_rt_workers_aborts() {
+    assert_aborts("NEXUS_RT_WORKERS", "lots", "positive integer");
+    // Zero workers can never execute anything — equally fatal.
+    assert_aborts("NEXUS_RT_WORKERS", "0", "positive integer");
+}
+
+#[test]
+fn bad_rt_nodes_aborts() {
+    assert_aborts("NEXUS_RT_NODES", "4.5", "positive integer");
+    assert_aborts("NEXUS_RT_NODES", "0", "positive integer");
 }
 
 #[test]

@@ -82,10 +82,14 @@ enum Event {
     Pump { node: usize },
     /// A node-local ready notification becomes visible.
     Ready { node: usize, task: TaskId },
-    /// A worker on `node` finished executing `task`.
-    WorkerFinish { node: usize, task: TaskId },
-    /// A worker on `node` becomes available again.
-    WorkerFree { node: usize },
+    /// Worker core `worker` on `node` finished executing `task`.
+    WorkerFinish {
+        node: usize,
+        task: TaskId,
+        worker: usize,
+    },
+    /// Worker core `worker` on `node` becomes available again.
+    WorkerFree { node: usize, worker: usize },
     /// A node's manager retired a task.
     Retired { node: usize, task: TaskId },
     /// A retirement notification reaches the master.
@@ -445,6 +449,27 @@ impl<M: TaskManager> ClusterDriver<M> {
         }
     }
 
+    /// Replaces every node's worker pool with one built from per-core speed
+    /// factors (`1.0` = a standard core; see
+    /// [`WorkerPool::with_speeds`](nexus_host::WorkerPool::with_speeds)).
+    /// All nodes share the same core mix; steal policies see the aggregate
+    /// capacity through the load board and normalize backlogs by it.
+    ///
+    /// # Panics
+    /// Panics if `speeds.len()` differs from `workers_per_node`, or if any
+    /// factor is not a positive finite number.
+    pub fn with_worker_speeds(mut self, speeds: &[f64]) -> Self {
+        assert_eq!(
+            speeds.len(),
+            self.cfg.workers_per_node,
+            "need one speed factor per worker core"
+        );
+        for node in &mut self.nodes {
+            node.pool = WorkerPool::with_speeds(speeds);
+        }
+        self
+    }
+
     /// Runs `trace` to completion on the cluster. Panics if the simulation
     /// deadlocks (which would indicate a model bug).
     pub fn run(self, trace: &Trace) -> ClusterOutcome {
@@ -667,19 +692,19 @@ impl<M: TaskManager> ClusterDriver<M> {
                     Self::dispatch(n, node, now, &idx_of, &durations, &mut queue, &mut scratch);
                 }
 
-                Event::WorkerFinish { node, task } => {
+                Event::WorkerFinish { node, task, worker } => {
                     let n = &mut self.nodes[node];
                     n.touch(now);
                     n.executed += 1;
                     let free_at = n.manager.finish(task, now);
                     Self::drain(n, node, now, &mut queue, &mut scratch);
-                    queue.schedule(free_at.max(now), Event::WorkerFree { node });
+                    queue.schedule(free_at.max(now), Event::WorkerFree { node, worker });
                 }
 
-                Event::WorkerFree { node } => {
+                Event::WorkerFree { node, worker } => {
                     let n = &mut self.nodes[node];
                     n.touch(now);
-                    n.pool.release();
+                    n.pool.release(worker);
                     Self::dispatch(n, node, now, &idx_of, &durations, &mut queue, &mut scratch);
                 }
 
@@ -835,6 +860,7 @@ impl<M: TaskManager> ClusterDriver<M> {
             "cluster master never finished the trace ({}; deadlock?)",
             trace.name
         );
+        let master_last_writer = master.last_writer_table();
         let executed: u64 = self.nodes.iter().map(|n| n.executed).sum();
         assert_eq!(
             executed as usize,
@@ -892,6 +918,7 @@ impl<M: TaskManager> ClusterDriver<M> {
             sim_events: events_processed,
             link,
             max_pending_depth,
+            master_last_writer,
         };
         (outcome, flow)
     }
@@ -1017,6 +1044,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                 ready: n.pool.queued(),
                 free_workers: n.pool.free(),
                 outstanding: n.outstanding,
+                speed_milli: n.pool.total_speed_milli(),
             })
             .collect();
         for thief in 0..self.nodes.len() {
@@ -1221,12 +1249,15 @@ impl<M: TaskManager> ClusterDriver<M> {
     ) {
         let manager = &mut n.manager;
         let pool = &mut n.pool;
-        pool.dispatch(|task| {
+        pool.dispatch(|task, worker, speed| {
             let extra = manager.dispatch_cost(task, now);
             manager.drain_events_into(scratch);
+            // A core of speed `speed/1000`× executes the task proportionally
+            // faster (exact for the uniform default: `d * 1000 / 1000 == d`).
+            let dur = durations[idx_of.idx(task)] * 1000 / speed;
             queue.schedule(
-                now + extra + durations[idx_of.idx(task)],
-                Event::WorkerFinish { node, task },
+                now + extra + dur,
+                Event::WorkerFinish { node, task, worker },
             );
         });
         Self::schedule_events(scratch.drain(..), node, now, queue);

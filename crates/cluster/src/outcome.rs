@@ -5,6 +5,7 @@ use crate::routing::EdgeStats;
 use nexus_host::SimOutcome;
 use nexus_sim::stats::LoadBalance;
 use nexus_sim::SimDuration;
+use nexus_trace::TaskId;
 use serde::{Deserialize, Serialize};
 
 /// Traffic aggregated over one fabric tier (e.g. all intra-rack links, or
@@ -105,6 +106,12 @@ pub struct ClusterOutcome {
     /// Deepest per-node backlog of tasks waiting for remote dependencies or
     /// manager capacity.
     pub max_pending_depth: usize,
+    /// The master's final last-writer table — `(address, producer)` pairs in
+    /// ascending address order at the end of the run. This is the semantic
+    /// fingerprint of the dataflow execution: any runtime executing the same
+    /// trace under the same routing must converge to the same table (the
+    /// `nexus-rt` conformance suite checks exactly that).
+    pub master_last_writer: Vec<(u64, TaskId)>,
 }
 
 impl ClusterOutcome {
@@ -213,6 +220,7 @@ mod tests {
                 ],
             },
             max_pending_depth: 1,
+            master_last_writer: Vec::new(),
         }
     }
 

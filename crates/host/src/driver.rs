@@ -53,10 +53,11 @@ impl Default for HostConfig {
 enum Event {
     /// The master attempts to execute its next trace operation.
     MasterStep,
-    /// A worker finished executing a task.
-    WorkerFinish(TaskId),
-    /// A worker becomes available again (after its finish-notification cost).
-    WorkerFree,
+    /// A worker core finished executing a task.
+    WorkerFinish(TaskId, usize),
+    /// A worker core becomes available again (after its finish-notification
+    /// cost).
+    WorkerFree(usize),
     /// A ready notification becomes visible to the scheduler.
     ReadyVisible(TaskId),
     /// A retirement becomes visible (barrier / back-pressure bookkeeping).
@@ -149,28 +150,28 @@ pub fn simulate(trace: &Trace, manager: &mut dyn TaskManager, cfg: &HostConfig) 
             Event::ReadyVisible(task) => {
                 pool.enqueue(task);
                 // Dispatch as many ready tasks as there are free workers.
-                pool.dispatch(|next| {
+                pool.dispatch(|next, worker, speed| {
                     let extra = manager.dispatch_cost(next, now);
                     drain_manager!(now);
-                    let dur = tasks[&next].duration;
-                    queue.schedule(now + extra + dur, Event::WorkerFinish(next));
+                    let dur = tasks[&next].duration * 1000 / speed;
+                    queue.schedule(now + extra + dur, Event::WorkerFinish(next, worker));
                 });
             }
 
-            Event::WorkerFinish(task) => {
+            Event::WorkerFinish(task, worker) => {
                 executed += 1;
                 let worker_free_at = manager.finish(task, now);
                 drain_manager!(now);
-                queue.schedule(worker_free_at.max(now), Event::WorkerFree);
+                queue.schedule(worker_free_at.max(now), Event::WorkerFree(worker));
             }
 
-            Event::WorkerFree => {
-                pool.release();
-                pool.dispatch(|next| {
+            Event::WorkerFree(worker) => {
+                pool.release(worker);
+                pool.dispatch(|next, worker, speed| {
                     let extra = manager.dispatch_cost(next, now);
                     drain_manager!(now);
-                    let dur = tasks[&next].duration;
-                    queue.schedule(now + extra + dur, Event::WorkerFinish(next));
+                    let dur = tasks[&next].duration * 1000 / speed;
+                    queue.schedule(now + extra + dur, Event::WorkerFinish(next, worker));
                 });
             }
 

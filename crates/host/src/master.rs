@@ -220,6 +220,18 @@ impl MasterSm {
         self.retired.contains(&task)
     }
 
+    /// The master's final last-writer table — `(address, last writing task)`
+    /// pairs sorted by address. A pure function of the committed submissions,
+    /// which makes it a cheap cross-check that two drivers (e.g. the event
+    /// simulator and the threaded runtime) committed the same submissions in
+    /// the same program order.
+    pub fn last_writer_table(&self) -> Vec<(u64, TaskId)> {
+        let mut table: Vec<(u64, TaskId)> =
+            self.last_writer.iter().map(|(&a, &t)| (a, t)).collect();
+        table.sort_unstable_by_key(|&(a, _)| a);
+        table
+    }
+
     /// Total time the master spent blocked on barriers.
     pub fn barrier_time(&self) -> SimDuration {
         self.barrier_time

@@ -1,0 +1,1028 @@
+//! The threaded cluster runtime: the owner/handle pair, the per-node manager
+//! and worker threads, and trace replay through the shared [`MasterSm`].
+//!
+//! # Protocol
+//!
+//! One **manager thread** per node owns the node's dependence state and talks
+//! to everyone over channels; `workers_per_node` **worker threads** per node
+//! compete on the node's task channel and execute bodies. The master side
+//! (any thread holding a [`RuntimeHandle`]) routes each submission through
+//! the shared `DepScanner` — the same placement + dependence-edge definition
+//! the event simulator uses — and then:
+//!
+//! 1. sends `Subscribe { producer, to: home }` to each *remote* producer's
+//!    home node (the producer's **directory**), and
+//! 2. sends `Submit { idx, producers, … }` to the task's home node.
+//!
+//! A manager marks a producer retired either by executing it, by receiving a
+//! cross-node `Notify`, or — for descriptors it granted to a thief — by the
+//! thief's `StolenRetired` report. The home node remains the directory for a
+//! descriptor no matter where it ends up executing, so subscriptions never
+//! chase stolen work around the cluster. Every retirement is appended to one
+//! global retire log (the topological-order witness the conformance suite
+//! checks, and the wait mechanism behind `taskwait`).
+//!
+//! Work stealing reuses the simulator's [`StealPolicy`] objects verbatim: an
+//! idle manager snapshots the per-node load boards (lock-free atomics),
+//! lets the policy pick a victim, and sends a `StealRequest`; the victim
+//! answers with up to `batch_for(free, backlog)` of its *youngest* ready
+//! descriptors (they have the fewest local consumers waiting).
+
+use crate::config::RtConfig;
+use crate::task::{RtTask, SubmitError, TaskBody};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use nexus_cluster::routing::DepScanner;
+use nexus_host::{MasterSm, MasterStep};
+use nexus_sched::{NodeLoad, StealPolicy};
+use nexus_sim::{FxHashMap, FxHashSet, SimDuration, SimTime};
+use nexus_topo::DistanceMatrix;
+use nexus_trace::{TaskId, Trace};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long an idle manager blocks on its mailbox before scanning the load
+/// boards for a steal opportunity.
+const IDLE_TICK: Duration = Duration::from_millis(1);
+
+/// A ready-to-run descriptor: dependence-free, waiting for a worker. This is
+/// also the unit a steal grant transfers; `home` pins the directory node, so
+/// a descriptor stolen (even repeatedly) still reports its retirement back to
+/// the one node holding its subscriptions.
+struct ReadyTask {
+    idx: usize,
+    id: TaskId,
+    home: usize,
+    duration: SimDuration,
+    body: Option<TaskBody>,
+}
+
+/// A submitted descriptor still missing producer retirements.
+struct PendingTask {
+    id: TaskId,
+    duration: SimDuration,
+    body: Option<TaskBody>,
+    missing: usize,
+}
+
+/// Messages exchanged with (and between) the manager threads.
+enum MgrMsg {
+    /// Master → home node: a new descriptor (producers by submission index).
+    Submit {
+        idx: usize,
+        id: TaskId,
+        duration: SimDuration,
+        producers: Vec<usize>,
+        body: Option<TaskBody>,
+    },
+    /// Master → a producer's home: node `to` consumes `producer`; notify it
+    /// on retirement (immediately if already retired).
+    Subscribe { producer: usize, to: usize },
+    /// Directory → subscriber: `producer` has retired.
+    Notify { producer: usize },
+    /// Worker → own manager: the task finished executing.
+    WorkerDone { idx: usize, id: TaskId, home: usize },
+    /// Idle thief → victim: request up to a policy-sized batch.
+    StealRequest { thief: usize, free: usize },
+    /// Victim → thief: the granted batch (possibly empty-handed).
+    StealGrant { tasks: Vec<ReadyTask> },
+    /// Thief → a stolen descriptor's home: it retired at the thief.
+    StolenRetired { idx: usize },
+    /// Owner → manager: stop the node's workers and exit.
+    Shutdown,
+}
+
+/// Messages from a manager to its node's worker pool.
+enum WorkerMsg {
+    /// Execute one task (body, then the scaled duration sleep).
+    Run {
+        idx: usize,
+        id: TaskId,
+        home: usize,
+        duration: SimDuration,
+        body: Option<TaskBody>,
+    },
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// Per-node load board: lock-free counters the owning manager publishes and
+/// idle thieves snapshot into [`NodeLoad`]s for the steal policy.
+struct Board {
+    pending: AtomicUsize,
+    stealable: AtomicUsize,
+    free: AtomicUsize,
+    outstanding: AtomicU64,
+    speed_milli: u64,
+}
+
+/// Mutable per-node statistics, updated by the owning manager.
+#[derive(Default)]
+struct NodeStats {
+    admitted: Vec<TaskId>,
+    executed: u64,
+    stolen_in: u64,
+    stolen_out: u64,
+    steal_requests: u64,
+}
+
+/// Everything shared about one node.
+struct NodeShared {
+    stats: Mutex<NodeStats>,
+    per_worker_done: Vec<AtomicU64>,
+    board: Board,
+}
+
+/// The global retirement record: `order` is the append-only log (one entry
+/// per executed task, in real wall-clock retirement order — the topological
+/// witness), `set` the membership index behind `taskwait on`.
+#[derive(Default)]
+struct RetireLog {
+    order: Vec<TaskId>,
+    set: FxHashSet<TaskId>,
+}
+
+/// Master-side submission state, serialized under one lock so placement and
+/// dependence scanning see every submission in program order.
+struct SubmitState {
+    scanner: DepScanner,
+    /// Home node per submission index (the scanner does not expose these).
+    homes: Vec<usize>,
+    /// Last writing task per address — the `taskwait on` target map.
+    last_writer: FxHashMap<u64, TaskId>,
+    /// `(producer, node)` pairs already subscribed (dedup: one `Notify` per
+    /// consuming node is enough, readiness counting is per missing producer).
+    subscribed: FxHashSet<(usize, usize)>,
+    closed: bool,
+}
+
+/// State shared between the runtime owner, every handle, and every thread.
+struct Inner {
+    mgr_tx: Vec<Sender<MgrMsg>>,
+    nodes: Vec<NodeShared>,
+    sub: Mutex<SubmitState>,
+    submitted: AtomicU64,
+    shutdown: AtomicBool,
+    log: Mutex<RetireLog>,
+    log_cv: Condvar,
+}
+
+impl Inner {
+    fn lock_log(&self) -> MutexGuard<'_, RetireLog> {
+        self.log.lock().expect("retire log poisoned")
+    }
+}
+
+/// Snapshot of one node's runtime statistics (see
+/// [`RuntimeHandle::node_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatsSnapshot {
+    /// Node index.
+    pub node: usize,
+    /// Tasks admitted at this node (as their home), in admission order.
+    pub admitted: Vec<TaskId>,
+    /// Tasks that finished executing on this node's workers (includes stolen
+    /// work executed here, excludes work stolen away).
+    pub executed: u64,
+    /// Descriptors this node stole from victims.
+    pub stolen_in: u64,
+    /// Descriptors granted away to thieves.
+    pub stolen_out: u64,
+    /// Steal requests this node issued while idle.
+    pub steal_requests: u64,
+    /// Tasks completed per worker thread of this node.
+    pub per_worker_done: Vec<u64>,
+}
+
+/// What a shutdown found (see [`ClusterRuntime::shutdown_timeout`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Tasks submitted over the runtime's lifetime.
+    pub submitted: u64,
+    /// Tasks retired before the runtime stopped.
+    pub retired: u64,
+    /// Tasks submitted but never retired (`submitted - retired`); zero after
+    /// a drained run.
+    pub pending: u64,
+    /// Final per-node statistics.
+    pub per_node: Vec<NodeStatsSnapshot>,
+}
+
+/// Result of replaying a whole trace (see [`RuntimeHandle::run_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRunReport {
+    /// Tasks the master submitted.
+    pub submitted: u64,
+    /// Retirements the master observed (equals `submitted` after the final
+    /// barrier).
+    pub retired: u64,
+    /// The master's final last-writer table, directly comparable with
+    /// `ClusterOutcome::master_last_writer` from the event simulator.
+    pub last_writer: Vec<(u64, TaskId)>,
+}
+
+/// Lifecycle state of the owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    New,
+    Running,
+    Stopped,
+}
+
+/// The owning half of the runtime, tokio-style: [`ClusterRuntime::new`]
+/// spawns nothing, [`ClusterRuntime::start`] spawns the manager and worker
+/// threads exactly once, and [`ClusterRuntime::shutdown_timeout`] /
+/// [`ClusterRuntime::shutdown_background`] stop them. Not cloneable — thread
+/// ownership has one owner; cheap cloneable [`RuntimeHandle`]s do the
+/// submitting.
+///
+/// Dropping a running `ClusterRuntime` signals shutdown without joining
+/// (the threads unwind in the background).
+pub struct ClusterRuntime {
+    cfg: RtConfig,
+    state: State,
+    inner: Option<Arc<Inner>>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ClusterRuntime {
+    /// Prepares a runtime for `cfg` without spawning any thread.
+    ///
+    /// # Panics
+    /// Panics if `cfg.nodes` or `cfg.workers_per_node` is zero, or if
+    /// `cfg.worker_speeds` has the wrong length or a non-positive/non-finite
+    /// factor.
+    pub fn new(cfg: RtConfig) -> Self {
+        assert!(cfg.nodes > 0, "need at least one node");
+        assert!(
+            cfg.workers_per_node > 0,
+            "need at least one worker per node"
+        );
+        if let Some(speeds) = &cfg.worker_speeds {
+            assert_eq!(
+                speeds.len(),
+                cfg.workers_per_node,
+                "need one speed factor per worker"
+            );
+            for &s in speeds {
+                assert!(
+                    s.is_finite() && s > 0.0,
+                    "worker speed factor must be a positive finite number (got {s})"
+                );
+            }
+        }
+        ClusterRuntime {
+            cfg,
+            state: State::New,
+            inner: None,
+            threads: Vec::new(),
+        }
+    }
+
+    /// Spawns the `nodes` manager threads and `nodes × workers_per_node`
+    /// worker threads and returns a handle for submitting work. Spawning
+    /// happens exactly once per runtime.
+    ///
+    /// # Panics
+    /// Panics if called a second time (`start` spawns exactly once — create
+    /// a new runtime instead).
+    pub fn start(&mut self) -> RuntimeHandle {
+        assert!(
+            self.state == State::New,
+            "ClusterRuntime::start called twice (the runtime spawns exactly once)"
+        );
+        let cfg = &self.cfg;
+        let speeds_milli: Vec<u64> = match &cfg.worker_speeds {
+            Some(speeds) => speeds
+                .iter()
+                .map(|&s| ((s * 1000.0).round() as u64).max(1))
+                .collect(),
+            None => vec![1000; cfg.workers_per_node],
+        };
+        let total_speed: u64 = speeds_milli.iter().sum();
+
+        let fabric = cfg.link.fabric(cfg.nodes);
+        let scanner = DepScanner::with_policy(cfg.nodes, cfg.placement.build())
+            .with_distances(fabric.distances());
+        let distances = Arc::new(fabric.distances());
+
+        let mut mgr_tx = Vec::with_capacity(cfg.nodes);
+        let mut mgr_rx = Vec::with_capacity(cfg.nodes);
+        for _ in 0..cfg.nodes {
+            let (tx, rx) = unbounded::<MgrMsg>();
+            mgr_tx.push(tx);
+            mgr_rx.push(rx);
+        }
+        let nodes = (0..cfg.nodes)
+            .map(|_| NodeShared {
+                stats: Mutex::new(NodeStats::default()),
+                per_worker_done: (0..cfg.workers_per_node)
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+                board: Board {
+                    pending: AtomicUsize::new(0),
+                    stealable: AtomicUsize::new(0),
+                    free: AtomicUsize::new(cfg.workers_per_node),
+                    outstanding: AtomicU64::new(0),
+                    speed_milli: total_speed,
+                },
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            mgr_tx,
+            nodes,
+            sub: Mutex::new(SubmitState {
+                scanner,
+                homes: Vec::new(),
+                last_writer: FxHashMap::default(),
+                subscribed: FxHashSet::default(),
+                closed: false,
+            }),
+            submitted: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            log: Mutex::new(RetireLog::default()),
+            log_cv: Condvar::new(),
+        });
+
+        for (node, rx) in mgr_rx.into_iter().enumerate() {
+            // Room for one in-flight Run per worker plus the Stop flood at
+            // shutdown, so the manager never blocks on its own pool.
+            let (worker_tx, worker_rx) = bounded::<WorkerMsg>(2 * cfg.workers_per_node);
+            for (w, &speed) in speeds_milli.iter().enumerate() {
+                let rx = worker_rx.clone();
+                let done = inner.mgr_tx[node].clone();
+                let shared = Arc::clone(&inner);
+                let scale = cfg.time_scale_ns_per_us;
+                let t = thread::Builder::new()
+                    .name(format!("nexus-rt-w{node}.{w}"))
+                    .spawn(move || worker_loop(node, w, speed, scale, rx, done, shared))
+                    .expect("failed to spawn worker thread");
+                self.threads.push(t);
+            }
+            let mgr = Mgr {
+                node,
+                workers: cfg.workers_per_node,
+                inner: Arc::clone(&inner),
+                worker_tx,
+                policy: cfg.stealing.build(),
+                steal_enabled: cfg.stealing.is_enabled(),
+                distances: Arc::clone(&distances),
+                retired: FxHashSet::default(),
+                subs: FxHashMap::default(),
+                waiting: FxHashMap::default(),
+                pending: FxHashMap::default(),
+                ready: VecDeque::new(),
+                free: cfg.workers_per_node,
+                steal_inflight: false,
+            };
+            let t = thread::Builder::new()
+                .name(format!("nexus-rt-mgr-{node}"))
+                .spawn(move || mgr.run(rx))
+                .expect("failed to spawn manager thread");
+            self.threads.push(t);
+        }
+
+        self.state = State::Running;
+        self.inner = Some(Arc::clone(&inner));
+        RuntimeHandle { inner }
+    }
+
+    /// Waits up to `timeout` for every submitted task to retire, then stops
+    /// and joins all threads and reports what was (and was not) finished.
+    /// After a fully drained run the report's `pending` is zero. Submissions
+    /// through surviving handles fail with [`SubmitError::ShutDown`] from
+    /// this point on.
+    pub fn shutdown_timeout(mut self, timeout: Duration) -> ShutdownReport {
+        self.stop(Some(timeout))
+    }
+
+    /// Signals shutdown and returns immediately without joining; the threads
+    /// finish their in-flight tasks and unwind in the background.
+    pub fn shutdown_background(mut self) {
+        self.stop(None);
+    }
+
+    fn stop(&mut self, wait: Option<Duration>) -> ShutdownReport {
+        if self.state != State::Running {
+            self.state = State::Stopped;
+            return ShutdownReport {
+                submitted: 0,
+                retired: 0,
+                pending: 0,
+                per_node: Vec::new(),
+            };
+        }
+        self.state = State::Stopped;
+        let inner = self.inner.take().expect("running runtime has inner state");
+        if let Some(timeout) = wait {
+            let deadline = Instant::now() + timeout;
+            let mut log = inner.lock_log();
+            loop {
+                if log.order.len() as u64 >= inner.submitted.load(Ordering::Acquire) {
+                    break;
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                log = inner
+                    .log_cv
+                    .wait_timeout(log, left)
+                    .expect("retire log poisoned")
+                    .0;
+            }
+        }
+        inner.shutdown.store(true, Ordering::Release);
+        inner.sub.lock().expect("submit state poisoned").closed = true;
+        for tx in &inner.mgr_tx {
+            let _ = tx.send(MgrMsg::Shutdown);
+        }
+        // Wake anyone parked in taskwait/run_trace so they observe the
+        // shutdown instead of sleeping forever.
+        inner.log_cv.notify_all();
+        let threads = std::mem::take(&mut self.threads);
+        if wait.is_some() {
+            for t in threads {
+                let _ = t.join();
+            }
+        }
+        let handle = RuntimeHandle {
+            inner: Arc::clone(&inner),
+        };
+        let submitted = inner.submitted.load(Ordering::Acquire);
+        let retired = inner.lock_log().order.len() as u64;
+        ShutdownReport {
+            submitted,
+            retired,
+            pending: submitted.saturating_sub(retired),
+            per_node: handle.node_stats(),
+        }
+    }
+}
+
+impl Drop for ClusterRuntime {
+    fn drop(&mut self) {
+        if self.state == State::Running {
+            self.stop(None);
+        }
+    }
+}
+
+/// Cheap cloneable submission handle (see [`ClusterRuntime::start`]): submit
+/// tasks, wait on barriers, replay traces, snapshot statistics. Clones share
+/// one runtime; all of it is usable from any thread.
+#[derive(Clone)]
+pub struct RuntimeHandle {
+    inner: Arc<Inner>,
+}
+
+impl RuntimeHandle {
+    /// Routes `task` to its home node and returns its id. The placement and
+    /// dependence edges are decided by the same scanner the event simulator
+    /// uses, under one lock, so submissions are dependence-scanned in
+    /// program order.
+    ///
+    /// # Errors
+    /// [`SubmitError::ShutDown`] once the runtime owner has shut down.
+    pub fn submit(&self, task: RtTask) -> Result<TaskId, SubmitError> {
+        let RtTask { descriptor, body } = task;
+        let id = descriptor.id;
+        let mut sub = self.inner.sub.lock().expect("submit state poisoned");
+        if sub.closed {
+            return Err(SubmitError::ShutDown);
+        }
+        let rec = sub.scanner.scan_full(&descriptor);
+        let idx = sub.homes.len();
+        sub.homes.push(rec.home);
+        for p in descriptor.outputs() {
+            sub.last_writer.insert(p.addr, id);
+        }
+        for &rp in &rec.remote_producers {
+            let producer_home = sub.homes[rp];
+            if sub.subscribed.insert((rp, rec.home)) {
+                let _ = self.inner.mgr_tx[producer_home].send(MgrMsg::Subscribe {
+                    producer: rp,
+                    to: rec.home,
+                });
+            }
+        }
+        self.inner.submitted.fetch_add(1, Ordering::AcqRel);
+        self.inner.mgr_tx[rec.home]
+            .send(MgrMsg::Submit {
+                idx,
+                id,
+                duration: descriptor.duration,
+                producers: rec.producers,
+                body,
+            })
+            .map_err(|_| SubmitError::ShutDown)?;
+        Ok(id)
+    }
+
+    /// Blocks until every task submitted before the call has retired (or the
+    /// runtime shuts down, whichever comes first).
+    pub fn taskwait(&self) {
+        let target = self.inner.submitted.load(Ordering::Acquire);
+        let mut log = self.inner.lock_log();
+        while (log.order.len() as u64) < target && !self.inner.shutdown.load(Ordering::Acquire) {
+            log = self.inner.log_cv.wait(log).expect("retire log poisoned");
+        }
+    }
+
+    /// Blocks until the last task that wrote `addr` has retired — a no-op if
+    /// nothing submitted so far writes `addr`. Returns early if the runtime
+    /// shuts down.
+    pub fn taskwait_on(&self, addr: u64) {
+        let target = {
+            let sub = self.inner.sub.lock().expect("submit state poisoned");
+            sub.last_writer.get(&addr).copied()
+        };
+        let Some(target) = target else { return };
+        let mut log = self.inner.lock_log();
+        while !log.set.contains(&target) && !self.inner.shutdown.load(Ordering::Acquire) {
+            log = self.inner.log_cv.wait(log).expect("retire log poisoned");
+        }
+    }
+
+    /// Tasks submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.inner.submitted.load(Ordering::Acquire)
+    }
+
+    /// Tasks retired so far.
+    pub fn retired(&self) -> u64 {
+        self.inner.lock_log().order.len() as u64
+    }
+
+    /// The global retirement log so far, in real retirement order. Every
+    /// consumer appears after all of its producers — the runtime's execution
+    /// is a legal topological order of the dependence graph, and this log is
+    /// the witness the conformance suite checks.
+    pub fn retire_log(&self) -> Vec<TaskId> {
+        self.inner.lock_log().order.clone()
+    }
+
+    /// Per-node statistics snapshots (admission order, executed/stolen
+    /// counts, per-worker completions).
+    pub fn node_stats(&self) -> Vec<NodeStatsSnapshot> {
+        self.inner
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(node, shared)| {
+                let stats = shared.stats.lock().expect("node stats poisoned");
+                NodeStatsSnapshot {
+                    node,
+                    admitted: stats.admitted.clone(),
+                    executed: stats.executed,
+                    stolen_in: stats.stolen_in,
+                    stolen_out: stats.stolen_out,
+                    steal_requests: stats.steal_requests,
+                    per_worker_done: shared
+                        .per_worker_done
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Replays `trace` through the shared [`MasterSm`] — the exact master
+    /// semantics of the simulators (program order, `taskwait`,
+    /// `taskwait on`), with retirement visibility coming from the live
+    /// retire log instead of simulated events. Master compute segments are
+    /// not slept: the replay is gated purely by the dataflow.
+    ///
+    /// Assumes this handle's submissions are the runtime's only traffic
+    /// while the replay runs (the barrier census counts every retirement).
+    ///
+    /// # Errors
+    /// [`SubmitError::ShutDown`] if the runtime shuts down mid-replay.
+    pub fn run_trace(&self, trace: &Trace) -> Result<TraceRunReport, SubmitError> {
+        let mut sm = MasterSm::new();
+        let mut fed = 0usize;
+        loop {
+            {
+                let log = self.inner.lock_log();
+                while fed < log.order.len() {
+                    sm.on_retired(log.order[fed], SimTime::ZERO);
+                    fed += 1;
+                }
+            }
+            match sm.step(trace, SimTime::ZERO, true) {
+                MasterStep::Submit(task) => {
+                    let task = task.clone();
+                    self.submit(RtTask::new(task.clone()))?;
+                    sm.commit_submit(&task, SimTime::ZERO);
+                }
+                MasterStep::Compute(_) | MasterStep::Continue => {}
+                MasterStep::Waiting => {
+                    let mut log = self.inner.lock_log();
+                    while log.order.len() == fed {
+                        if self.inner.shutdown.load(Ordering::Acquire) {
+                            return Err(SubmitError::ShutDown);
+                        }
+                        log = self.inner.log_cv.wait(log).expect("retire log poisoned");
+                    }
+                }
+                MasterStep::Done => break,
+            }
+        }
+        Ok(TraceRunReport {
+            submitted: sm.submitted(),
+            retired: sm.retired_count(),
+            last_writer: sm.last_writer_table(),
+        })
+    }
+}
+
+/// One manager thread's state (see the [module docs](self) for the
+/// protocol).
+struct Mgr {
+    node: usize,
+    workers: usize,
+    inner: Arc<Inner>,
+    worker_tx: Sender<WorkerMsg>,
+    policy: Box<dyn StealPolicy>,
+    steal_enabled: bool,
+    distances: Arc<DistanceMatrix>,
+    /// Producers known retired at this node (from local execution, `Notify`,
+    /// or `StolenRetired`).
+    retired: FxHashSet<usize>,
+    /// Directory: producer → nodes to `Notify` when it retires.
+    subs: FxHashMap<usize, Vec<usize>>,
+    /// Producer → local pending tasks waiting on it.
+    waiting: FxHashMap<usize, Vec<usize>>,
+    /// Pending tasks by submission index.
+    pending: FxHashMap<usize, PendingTask>,
+    /// Dependence-free descriptors waiting for a worker (the stealable
+    /// backlog; thieves take from the back).
+    ready: VecDeque<ReadyTask>,
+    free: usize,
+    steal_inflight: bool,
+}
+
+impl Mgr {
+    fn run(mut self, rx: Receiver<MgrMsg>) {
+        loop {
+            let idle = match rx.recv_timeout(IDLE_TICK) {
+                Ok(MgrMsg::Shutdown) => {
+                    for _ in 0..self.workers {
+                        let _ = self.worker_tx.send(WorkerMsg::Stop);
+                    }
+                    return;
+                }
+                Ok(msg) => {
+                    self.on_msg(msg);
+                    false
+                }
+                Err(RecvTimeoutError::Timeout) => true,
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            self.dispatch();
+            if idle {
+                self.try_steal();
+            }
+            self.sync_board();
+        }
+    }
+
+    fn on_msg(&mut self, msg: MgrMsg) {
+        match msg {
+            MgrMsg::Submit {
+                idx,
+                id,
+                duration,
+                producers,
+                body,
+            } => {
+                self.stats().admitted.push(id);
+                let missing: Vec<usize> = producers
+                    .into_iter()
+                    .filter(|p| !self.retired.contains(p))
+                    .collect();
+                if missing.is_empty() {
+                    self.ready.push_back(ReadyTask {
+                        idx,
+                        id,
+                        home: self.node,
+                        duration,
+                        body,
+                    });
+                } else {
+                    for &p in &missing {
+                        self.waiting.entry(p).or_default().push(idx);
+                    }
+                    self.pending.insert(
+                        idx,
+                        PendingTask {
+                            id,
+                            duration,
+                            body,
+                            missing: missing.len(),
+                        },
+                    );
+                }
+            }
+            MgrMsg::Subscribe { producer, to } => {
+                if self.retired.contains(&producer) {
+                    let _ = self.inner.mgr_tx[to].send(MgrMsg::Notify { producer });
+                } else {
+                    self.subs.entry(producer).or_default().push(to);
+                }
+            }
+            MgrMsg::Notify { producer } => self.producer_retired(producer),
+            MgrMsg::WorkerDone { idx, id, home } => {
+                self.free += 1;
+                self.stats().executed += 1;
+                {
+                    let mut log = self.inner.lock_log();
+                    log.order.push(id);
+                    log.set.insert(id);
+                }
+                self.inner.log_cv.notify_all();
+                self.producer_retired(idx);
+                if home == self.node {
+                    self.flush_subs(idx);
+                } else {
+                    let _ = self.inner.mgr_tx[home].send(MgrMsg::StolenRetired { idx });
+                }
+            }
+            MgrMsg::StolenRetired { idx } => {
+                self.producer_retired(idx);
+                self.flush_subs(idx);
+            }
+            MgrMsg::StealRequest { thief, free } => {
+                let n = self
+                    .policy
+                    .batch_for(free, self.ready.len())
+                    .min(self.ready.len());
+                let mut tasks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    // The youngest ready descriptors leave first: the oldest
+                    // are the ones local consumers have waited on longest.
+                    tasks.push(self.ready.pop_back().expect("batch clamped to backlog"));
+                }
+                if n > 0 {
+                    self.stats().stolen_out += n as u64;
+                }
+                let _ = self.inner.mgr_tx[thief].send(MgrMsg::StealGrant { tasks });
+            }
+            MgrMsg::StealGrant { tasks } => {
+                self.steal_inflight = false;
+                if !tasks.is_empty() {
+                    self.stats().stolen_in += tasks.len() as u64;
+                    for t in tasks {
+                        self.ready.push_back(t);
+                    }
+                }
+            }
+            MgrMsg::Shutdown => unreachable!("handled in the receive loop"),
+        }
+    }
+
+    /// Records that producer `p` retired (idempotent) and promotes any local
+    /// tasks whose last missing producer it was.
+    fn producer_retired(&mut self, p: usize) {
+        if !self.retired.insert(p) {
+            return;
+        }
+        let Some(waiters) = self.waiting.remove(&p) else {
+            return;
+        };
+        for idx in waiters {
+            let now_ready = {
+                let t = self
+                    .pending
+                    .get_mut(&idx)
+                    .expect("waiter without a pending record");
+                t.missing -= 1;
+                t.missing == 0
+            };
+            if now_ready {
+                let t = self.pending.remove(&idx).expect("checked above");
+                self.ready.push_back(ReadyTask {
+                    idx,
+                    id: t.id,
+                    home: self.node,
+                    duration: t.duration,
+                    body: t.body,
+                });
+            }
+        }
+    }
+
+    /// Notifies every node subscribed to producer `p` (directory duty of the
+    /// home node).
+    fn flush_subs(&mut self, p: usize) {
+        if let Some(subs) = self.subs.remove(&p) {
+            for to in subs {
+                let _ = self.inner.mgr_tx[to].send(MgrMsg::Notify { producer: p });
+            }
+        }
+    }
+
+    /// Hands ready descriptors to free workers (the workers compete on the
+    /// node's task channel, fastest-finisher-first by construction).
+    fn dispatch(&mut self) {
+        while self.free > 0 {
+            let Some(t) = self.ready.pop_front() else {
+                break;
+            };
+            self.free -= 1;
+            let _ = self.worker_tx.send(WorkerMsg::Run {
+                idx: t.idx,
+                id: t.id,
+                home: t.home,
+                duration: t.duration,
+                body: t.body,
+            });
+        }
+    }
+
+    /// On an idle tick with free workers and no backlog, snapshots the load
+    /// boards and lets the policy pick a victim — at most one request in
+    /// flight per thief.
+    fn try_steal(&mut self) {
+        if !self.steal_enabled || self.steal_inflight || self.free == 0 || !self.ready.is_empty() {
+            return;
+        }
+        let loads: Vec<NodeLoad> = self
+            .inner
+            .nodes
+            .iter()
+            .map(|n| NodeLoad {
+                pending: n.board.pending.load(Ordering::Relaxed),
+                stealable: n.board.stealable.load(Ordering::Relaxed),
+                ready: n.board.stealable.load(Ordering::Relaxed),
+                free_workers: n.board.free.load(Ordering::Relaxed),
+                outstanding: n.board.outstanding.load(Ordering::Relaxed),
+                speed_milli: n.board.speed_milli,
+            })
+            .collect();
+        let Some(victim) =
+            self.policy
+                .choose_victim_tiered(self.node, &loads, Some(&self.distances))
+        else {
+            return;
+        };
+        self.stats().steal_requests += 1;
+        self.steal_inflight = true;
+        let _ = self.inner.mgr_tx[victim].send(MgrMsg::StealRequest {
+            thief: self.node,
+            free: self.free,
+        });
+    }
+
+    fn sync_board(&self) {
+        let board = &self.inner.nodes[self.node].board;
+        board.pending.store(self.pending.len(), Ordering::Relaxed);
+        board.stealable.store(self.ready.len(), Ordering::Relaxed);
+        board.free.store(self.free, Ordering::Relaxed);
+        board.outstanding.store(
+            (self.pending.len() + self.ready.len() + (self.workers - self.free)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn stats(&self) -> MutexGuard<'_, NodeStats> {
+        self.inner.nodes[self.node]
+            .stats
+            .lock()
+            .expect("node stats poisoned")
+    }
+}
+
+/// One worker thread: run the body, sleep the scaled duration, report back.
+fn worker_loop(
+    node: usize,
+    worker: usize,
+    speed_milli: u64,
+    time_scale_ns_per_us: u64,
+    rx: Receiver<WorkerMsg>,
+    done: Sender<MgrMsg>,
+    shared: Arc<Inner>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Run {
+                idx,
+                id,
+                home,
+                duration,
+                body,
+            } => {
+                if let Some(body) = body {
+                    body();
+                }
+                if time_scale_ns_per_us > 0 {
+                    let ns = duration.as_us_f64() * time_scale_ns_per_us as f64 * 1000.0
+                        / speed_milli as f64;
+                    thread::sleep(Duration::from_nanos(ns as u64));
+                }
+                shared.nodes[node].per_worker_done[worker].fetch_add(1, Ordering::Relaxed);
+                if done.send(MgrMsg::WorkerDone { idx, id, home }).is_err() {
+                    return;
+                }
+            }
+            WorkerMsg::Stop => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_trace::TaskDescriptor;
+    use std::sync::atomic::AtomicU64;
+
+    fn chain_task(id: u64, addr: u64) -> TaskDescriptor {
+        TaskDescriptor::builder(id).inout(addr).build()
+    }
+
+    #[test]
+    fn dependent_bodies_run_in_submission_order() {
+        let mut rt = ClusterRuntime::new(RtConfig::new(2, 2));
+        let h = rt.start();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for id in 0..20u64 {
+            let seen = Arc::clone(&seen);
+            // One shared inout address: a single chain across both nodes.
+            h.submit(RtTask::new(chain_task(id, 0xBEEF)).with_body(move || {
+                seen.lock().unwrap().push(id);
+            }))
+            .unwrap();
+        }
+        h.taskwait();
+        assert_eq!(*seen.lock().unwrap(), (0..20).collect::<Vec<_>>());
+        let report = rt.shutdown_timeout(Duration::from_secs(10));
+        assert_eq!(report.pending, 0);
+        assert_eq!(report.retired, 20);
+    }
+
+    #[test]
+    fn independent_tasks_spread_over_nodes_and_workers() {
+        let mut rt = ClusterRuntime::new(RtConfig::new(2, 2));
+        let h = rt.start();
+        let hits = Arc::new(AtomicU64::new(0));
+        for id in 0..64u64 {
+            let hits = Arc::clone(&hits);
+            h.submit(RtTask::new(chain_task(id, 0x1000 + id)).with_body(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        h.taskwait();
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        assert_eq!(h.retired(), 64);
+        let stats = h.node_stats();
+        assert_eq!(stats.iter().map(|s| s.executed).sum::<u64>(), 64);
+        assert_eq!(
+            stats
+                .iter()
+                .flat_map(|s| s.per_worker_done.iter())
+                .sum::<u64>(),
+            64
+        );
+        // XOR-hash over 64 distinct addresses lands work on both nodes.
+        assert!(stats.iter().all(|s| !s.admitted.is_empty()));
+        rt.shutdown_background();
+    }
+
+    #[test]
+    fn taskwait_on_waits_for_the_last_writer_only() {
+        let mut rt = ClusterRuntime::new(RtConfig::new(1, 1));
+        let h = rt.start();
+        let flag = Arc::new(AtomicU64::new(0));
+        let f1 = Arc::clone(&flag);
+        h.submit(RtTask::new(chain_task(0, 0xA)).with_body(move || {
+            f1.store(1, Ordering::SeqCst);
+        }))
+        .unwrap();
+        h.taskwait_on(0xA);
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+        // An address nothing wrote is a no-op wait.
+        h.taskwait_on(0xDEAD);
+        let report = rt.shutdown_timeout(Duration::from_secs(10));
+        assert_eq!(report.pending, 0);
+    }
+
+    #[test]
+    fn retire_log_is_consistent_with_the_set() {
+        let mut rt = ClusterRuntime::new(RtConfig::new(2, 1));
+        let h = rt.start();
+        for id in 0..10u64 {
+            h.submit(RtTask::new(chain_task(id, 0x100 + id))).unwrap();
+        }
+        h.taskwait();
+        let log = h.retire_log();
+        assert_eq!(log.len(), 10);
+        let mut sorted: Vec<u64> = log.iter().map(|t| t.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        rt.shutdown_background();
+    }
+}

@@ -3,7 +3,7 @@
 //! scaling of the sharded dependency graph with the shard count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use nexus_rt::{Runtime, TaskSpec};
+use nexus_runtime::{Runtime, TaskSpec};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

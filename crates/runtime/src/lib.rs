@@ -1,4 +1,4 @@
-//! # nexus-rt — a task-parallel runtime with Nexus#-style dependency resolution
+//! # nexus-runtime — a task-parallel runtime with Nexus#-style dependency resolution
 //!
 //! The paper's contribution is a *hardware* dependency manager; this crate is
 //! the software embodiment of the same algorithm, usable today as a library:
@@ -17,7 +17,7 @@
 //! * `taskwait` and `taskwait on(key)` mirror the OmpSs pragmas.
 //!
 //! ```
-//! use nexus_rt::{Runtime, TaskSpec};
+//! use nexus_runtime::{Runtime, TaskSpec};
 //! use std::sync::atomic::{AtomicU64, Ordering};
 //! use std::sync::Arc;
 //!

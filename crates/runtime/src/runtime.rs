@@ -181,7 +181,7 @@ impl Runtime {
             let rx = ready_rx.clone();
             handles.push(
                 std::thread::Builder::new()
-                    .name(format!("nexus-rt-worker-{w}"))
+                    .name(format!("nexus-runtime-worker-{w}"))
                     .spawn(move || {
                         while let Ok(msg) = rx.recv() {
                             match msg {

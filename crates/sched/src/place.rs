@@ -107,7 +107,7 @@ impl PlacementCtx<'_> {
 /// let mut loc = LocalityAware::default();
 /// assert_eq!(loc.place(&consumer, &ctx(&[2])), 2);
 /// ```
-pub trait PlacementPolicy {
+pub trait PlacementPolicy: Send + Sync {
     /// Short human-readable policy name (stable; used in reports and tables).
     fn name(&self) -> &'static str;
 

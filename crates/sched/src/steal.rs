@@ -42,6 +42,26 @@ pub struct NodeLoad {
     pub free_workers: usize,
     /// Tasks arrived at the node and not yet retired.
     pub outstanding: u64,
+    /// Aggregate service capacity of the node's worker pool, in milli-units
+    /// (a standard core contributes 1000; a 2×-fast core 2000). `0` means
+    /// "unreported" and is treated as one standard core per comparison, so
+    /// uniform snapshots that never set the field keep their old ordering.
+    pub speed_milli: u64,
+}
+
+impl NodeLoad {
+    /// Time-to-drain estimate of the node's eligible backlog: `stealable`
+    /// normalized by the node's reported service capacity (in fixed-point
+    /// backlog-per-capacity units). A fast node with a deep queue can be a
+    /// worse victim than a slow node with a shallower one.
+    pub fn drain_estimate(&self) -> u64 {
+        let capacity = if self.speed_milli == 0 {
+            1000
+        } else {
+            self.speed_milli
+        };
+        (self.stealable as u64).saturating_mul(1_000_000) / capacity
+    }
 }
 
 /// A victim-selection policy for work stealing (see the [module docs](self)).
@@ -64,7 +84,7 @@ pub struct NodeLoad {
 /// // Node 2 never steals from itself.
 /// assert_eq!(policy.choose_victim(2, &loads), None);
 /// ```
-pub trait StealPolicy {
+pub trait StealPolicy: Send + Sync {
     /// Short human-readable policy name (stable; used in reports and tables).
     fn name(&self) -> &'static str;
 
@@ -121,8 +141,12 @@ impl StealPolicy for NoStealing {
     }
 }
 
-/// Steal from the neighbour with the largest eligible backlog, breaking ties
-/// toward the lowest node index.
+/// Steal from the neighbour with the largest eligible backlog *per unit of
+/// service capacity* (see [`NodeLoad::drain_estimate`]), breaking ties toward
+/// the larger raw backlog, then the lowest node index. On uniform-speed
+/// clusters this reduces to raw most-loaded selection; with heterogeneous
+/// worker pools it prefers the victim that will take longest to drain its own
+/// queue.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StealMostLoaded;
 
@@ -136,7 +160,7 @@ impl StealPolicy for StealMostLoaded {
             .iter()
             .enumerate()
             .filter(|&(n, l)| n != thief && l.stealable > 0)
-            .max_by_key(|&(n, l)| (l.stealable, usize::MAX - n))
+            .max_by_key(|&(n, l)| (l.drain_estimate(), l.stealable, usize::MAX - n))
             .map(|(n, _)| n)
     }
 }
@@ -330,6 +354,29 @@ mod tests {
         assert_eq!(p.choose_victim(0, &loads), Some(3));
         assert_eq!(p.choose_victim(3, &loads), Some(2));
         assert!(p.batch(4) == 4 && p.batch(0) == 1);
+    }
+
+    #[test]
+    fn most_loaded_normalizes_the_backlog_by_worker_speed() {
+        let mut loads = vec![NodeLoad::default(); 3];
+        // Node 1: deeper backlog, but a 4×-capacity pool drains it quickly.
+        loads[1] = NodeLoad {
+            stealable: 8,
+            speed_milli: 4000,
+            ..NodeLoad::default()
+        };
+        // Node 2: shallower backlog on one standard core — slower to drain.
+        loads[2] = NodeLoad {
+            stealable: 6,
+            speed_milli: 1000,
+            ..NodeLoad::default()
+        };
+        let mut p = StealMostLoaded;
+        assert_eq!(p.choose_victim(0, &loads), Some(2));
+        // Unreported speeds (0) fall back to the raw backlog ordering.
+        loads[1].speed_milli = 0;
+        loads[2].speed_milli = 0;
+        assert_eq!(p.choose_victim(0, &loads), Some(1));
     }
 
     #[test]

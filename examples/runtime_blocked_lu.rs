@@ -1,4 +1,4 @@
-//! Using the *real* runtime (`nexus-rt`) — not the simulator — to execute a
+//! Using the *real* runtime (`nexus-runtime`) — not the simulator — to execute a
 //! blocked LU factorization on the current machine's threads, with the same
 //! task graph the sparselu benchmark models (lu0 / fwd / bdiv / bmod tasks and
 //! their in/out/inout footprints), then verifying the result against a
@@ -125,7 +125,7 @@ fn main() {
     let mut reference = original.clone();
     lu_sequential(&mut reference);
 
-    // Task-parallel factorization via nexus-rt.
+    // Task-parallel factorization via nexus-runtime.
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);

@@ -19,7 +19,8 @@
 //! | [`sched`] | `nexus-sched` | pluggable placement and work-stealing policies |
 //! | [`cluster`] | `nexus-cluster` | multi-node cluster simulation with an interconnect model |
 //! | [`flow`] | `nexus-flow` | streaming ingestion: open-loop arrivals, latency percentiles, knee sweeps |
-//! | [`rt`] | `nexus-rt` | a real threaded runtime using the Nexus# algorithm |
+//! | [`runtime`] | `nexus-runtime` | a real single-node threaded runtime using the Nexus# algorithm |
+//! | [`rt`] | `nexus-rt` | a real threaded *cluster* runtime executing the simulator's policies on live channels |
 //!
 //! ## Quick example
 //!
@@ -49,6 +50,7 @@ pub use nexus_nanos as nanos;
 pub use nexus_pp as pp;
 pub use nexus_resources as resources;
 pub use nexus_rt as rt;
+pub use nexus_runtime as runtime;
 pub use nexus_sched as sched;
 pub use nexus_sim as sim;
 pub use nexus_taskgraph as taskgraph;
@@ -68,7 +70,8 @@ pub mod prelude {
     pub use nexus_nanos::NanosRuntime;
     pub use nexus_pp::{NexusPP, NexusPPConfig};
     pub use nexus_resources::{ManagerConfig, ResourceModel};
-    pub use nexus_rt::{Runtime, TaskSpec};
+    pub use nexus_rt::{ClusterRuntime, RtConfig, RtTask, RuntimeHandle};
+    pub use nexus_runtime::{Runtime, TaskSpec};
     pub use nexus_sched::{PlacementPolicy, PolicyKind, StealKind, StealPolicy};
     pub use nexus_sim::{SimDuration, SimTime};
     pub use nexus_topo::{Fabric, TopologyKind};

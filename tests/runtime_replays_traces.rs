@@ -1,4 +1,4 @@
-//! Integration: the *real* threaded runtime (`nexus-rt`) executes the
+//! Integration: the *real* threaded runtime (`nexus-runtime`) executes the
 //! dependency structure of the paper's generated workloads correctly — every
 //! task runs exactly once and never before any of its predecessors (as defined
 //! by the reference dependency graph built from the trace).

@@ -1,0 +1,72 @@
+//! Heterogeneous worker speeds in the *simulated* cluster: a node whose pool
+//! mixes a 2x core with a standard core must beat a uniform pool of standard
+//! cores on the same trace, and the speed-normalized most-loaded steal
+//! policy must still drain a skewed workload.
+
+use nexus::cluster::{ClusterConfig, ClusterDriver};
+use nexus::host::IdealManager;
+use nexus::sched::StealKind;
+use nexus::sim::SimDuration;
+use nexus::trace::generators::distributed;
+
+fn us(n: u64) -> SimDuration {
+    SimDuration::from_us(n)
+}
+
+#[test]
+fn a_double_speed_core_shortens_the_makespan() {
+    // Plenty of independent 50 us tasks per node: with one core at 2x the
+    // pool's aggregate service rate is 1.5x, so the makespan must drop
+    // measurably (not necessarily the full 1.5x — the tail task quantizes).
+    let trace = distributed::imbalanced(2, 64, 1.0, us(50), 0.0, 7);
+    let cfg = ClusterConfig::new(2, 2);
+    let uniform = ClusterDriver::new(&cfg, |_| IdealManager::new()).run(&trace);
+    let hetero = ClusterDriver::new(&cfg, |_| IdealManager::new())
+        .with_worker_speeds(&[2.0, 1.0])
+        .run(&trace);
+    assert_eq!(uniform.tasks, hetero.tasks);
+    let ratio = uniform.makespan.as_us_f64() / hetero.makespan.as_us_f64();
+    assert!(
+        ratio > 1.2,
+        "a 2x core should shorten the makespan by ~1.5x, got {ratio:.3} \
+         (uniform {}, hetero {})",
+        uniform.makespan,
+        hetero.makespan
+    );
+    // Same dataflow either way: the semantic fingerprint is unchanged.
+    assert_eq!(uniform.master_last_writer, hetero.master_last_writer);
+}
+
+/// A manager whose descriptor pool keeps a backlog pending at the node — in
+/// the simulated cluster only *pending* descriptors are steal-eligible, so an
+/// unbounded manager never exposes anything to thieves.
+fn tight_sharp() -> nexus::sharp::NexusSharp {
+    let mut cfg = nexus::sharp::NexusSharpConfig::paper(6);
+    cfg.task_pool_capacity = 16;
+    nexus::sharp::NexusSharp::new(cfg)
+}
+
+#[test]
+fn speed_normalized_stealing_still_drains_skewed_work() {
+    let trace = distributed::imbalanced(4, 60, 6.0, us(50), 0.0, 5);
+    let cfg = ClusterConfig::new(4, 2).with_stealing(StealKind::MostLoaded);
+    let out = ClusterDriver::new(&cfg, |_| tight_sharp())
+        .with_worker_speeds(&[2.0, 1.0])
+        .run(&trace);
+    assert_eq!(out.tasks, trace.task_count() as u64);
+    assert!(
+        out.steals > 0,
+        "the skewed head node must shed work: got {} steals",
+        out.steals
+    );
+    let frozen = ClusterDriver::new(&cfg.with_stealing(StealKind::Disabled), |_| tight_sharp())
+        .with_worker_speeds(&[2.0, 1.0])
+        .run(&trace);
+    assert!(
+        out.makespan < frozen.makespan,
+        "stealing must beat no stealing on the same heterogeneous pools \
+         ({} vs {})",
+        out.makespan,
+        frozen.makespan
+    );
+}

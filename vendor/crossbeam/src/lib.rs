@@ -1,24 +1,32 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! The build environment cannot reach crates.io, so this crate provides the
-//! one piece of crossbeam the workspace uses: `crossbeam::channel::unbounded`,
-//! a multi-producer **multi-consumer** channel (std's `mpsc::Receiver` is not
-//! cloneable, which is why the runtime reaches for crossbeam). The
-//! implementation is a `Mutex<VecDeque>` + `Condvar` queue with
-//! sender/receiver reference counting for disconnect semantics — correct and
-//! adequate for the worker-pool fan-out here, if not as fast as the real
-//! lock-free crossbeam. Swap in the real crate by deleting `vendor/crossbeam`
-//! once the registry is reachable.
+//! slice of crossbeam the workspace uses: `crossbeam::channel::unbounded` and
+//! `crossbeam::channel::bounded`, multi-producer **multi-consumer** channels
+//! (std's `mpsc::Receiver` is not cloneable, which is why the runtimes reach
+//! for crossbeam), with `recv_timeout`/`try_recv` on the receiving half
+//! (needed by `nexus-rt`'s manager loops and `shutdown_timeout`). The
+//! implementation is a `Mutex<VecDeque>` + two `Condvar`s (data-ready and
+//! space-free) with sender/receiver reference counting for disconnect
+//! semantics — correct and adequate for the worker-pool fan-out here, if not
+//! as fast as the real lock-free crossbeam. Swap in the real crate by deleting
+//! `vendor/crossbeam` once the registry is reachable.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded channel frees a slot (unused when
+        /// `capacity` is `None`).
+        space: Condvar,
+        /// `Some(cap)` for bounded channels: `send` blocks while full.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -48,6 +56,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     /// The sending half of an unbounded MPMC channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -61,9 +78,22 @@ pub mod channel {
 
     /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with(None)
+    }
+
+    /// Creates a bounded MPMC channel of `cap` slots: [`Sender::send`] blocks
+    /// while the queue is full (a zero capacity is rounded up to one slot —
+    /// this stand-in has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel_with(Some(cap.max(1)))
+    }
+
+    fn channel_with<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -76,16 +106,32 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `msg`, waking one waiting receiver.
+        /// Enqueues `msg`, waking one waiting receiver. On a bounded channel
+        /// this blocks while the queue is full (until a receiver frees a slot
+        /// or every receiver is gone).
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(msg));
             }
-            self.shared
+            let mut queue = self
+                .shared
                 .queue
                 .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push_back(msg);
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(cap) = self.shared.capacity {
+                while queue.len() >= cap {
+                    if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(msg));
+                    }
+                    queue = self
+                        .shared
+                        .space
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
             self.shared.ready.notify_one();
             Ok(())
         }
@@ -120,6 +166,8 @@ pub mod channel {
                 .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(msg) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.space.notify_one();
                     return Ok(msg);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -133,6 +181,41 @@ pub mod channel {
             }
         }
 
+        /// Blocks until a message arrives, every sender is gone, or `timeout`
+        /// elapses. Messages already queued are drained even after the last
+        /// sender disconnected.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.space.notify_one();
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, wait) = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, left)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = q;
+                if wait.timed_out() && queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
         /// Pops a message if one is immediately available.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self
@@ -141,7 +224,11 @@ pub mod channel {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             match queue.pop_front() {
-                Some(msg) => Ok(msg),
+                Some(msg) => {
+                    drop(queue);
+                    self.shared.space.notify_one();
+                    Ok(msg)
+                }
                 None if self.shared.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -161,7 +248,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver gone: wake every sender blocked on a full
+                // bounded queue so it can observe the disconnect.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -191,6 +282,60 @@ pub mod channel {
             let a = std::thread::spawn(move || (0..50).filter(|_| rx.recv().is_ok()).count());
             let b = std::thread::spawn(move || (0..50).filter(|_| rx2.recv().is_ok()).count());
             assert_eq!(a.join().unwrap() + b.join().unwrap(), 100);
+        }
+
+        #[test]
+        fn recv_timeout_expires_on_an_empty_channel() {
+            let (tx, rx) = unbounded::<u32>();
+            let t0 = Instant::now();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(t0.elapsed() >= Duration::from_millis(15));
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(9));
+        }
+
+        #[test]
+        fn recv_timeout_drains_after_disconnect() {
+            let (tx, rx) = bounded::<u32>(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            // Queued messages survive the disconnect and drain in order;
+            // only then does the disconnect become visible.
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(2));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_a_slot_frees() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let t0 = Instant::now();
+            let sender = std::thread::spawn(move || tx.send(3).unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1)); // frees the slot the sender waits on
+            sender.join().unwrap();
+            assert!(t0.elapsed() >= Duration::from_millis(15));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_send_errors_when_every_receiver_is_gone() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let blocked = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(10));
+            drop(rx);
+            assert_eq!(blocked.join().unwrap(), Err(SendError(2)));
         }
 
         #[test]
