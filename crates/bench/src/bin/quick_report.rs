@@ -25,21 +25,38 @@
 //! * `--list-scenarios` — print the tracked scenario names and their trace
 //!   seeds (so baseline diffs are explainable without reading source) and
 //!   exit.
+//!
+//! ## Trace export (observability)
+//!
+//! * `--trace-out <path>` — additionally run one traced scenario (the skewed
+//!   imbalanced trace under most-loaded stealing, so steals and flow arrows
+//!   appear) and write its span log to `<path>`: Chrome-trace JSON by
+//!   default (load it in Perfetto or `chrome://tracing`), or a text timeline
+//!   with `NEXUS_TRACE=text`. The written JSON is parsed back and its
+//!   complete-span count is checked against the retired-task count — a
+//!   mismatch exits non-zero.
+//! * `NEXUS_TRACE=off|chrome|text` — export format (default `chrome` when a
+//!   path is given); `NEXUS_TRACE_OUT=<path>` — env equivalent of
+//!   `--trace-out`.
 
-use nexus_bench::baseline::{compare, Baseline, CompareConfig, RuntimeRecord, ScenarioRecord};
+use nexus_bench::baseline::{
+    compare, Baseline, CompareConfig, Json, RuntimeRecord, ScenarioRecord,
+};
 use nexus_bench::managers::ManagerKind;
 use nexus_bench::paper::table4_row;
 use nexus_bench::report::{fmt_speedup, Table};
 use nexus_bench::runner::{
     admit_depth, bench_scale, cluster_link, cluster_policy, cluster_steal, cluster_topology,
-    curves_for, event_engine, rt_nodes, rt_workers, service_arrival,
+    curves_for, event_engine, rt_nodes, rt_workers, service_arrival, trace_mode, trace_out,
+    TraceMode,
 };
 use nexus_cluster::{
-    simulate_cluster, AdmissionConfig, ClusterConfig, ClusterOutcome, PolicyKind, StealKind,
-    Topology,
+    simulate_cluster, simulate_cluster_traced, AdmissionConfig, ClusterConfig, ClusterDriver,
+    ClusterOutcome, MemRecorder, PolicyKind, StealKind, TimeBase, Topology,
 };
 use nexus_core::NexusSharp;
 use nexus_flow::{simulate_service, ArrivalConfig, ArrivalKind, ServiceConfig};
+use nexus_obs::{chrome_trace, text_timeline};
 use nexus_sim::SimDuration;
 use nexus_trace::generators::distributed;
 use nexus_trace::{Benchmark, Trace};
@@ -54,6 +71,7 @@ struct Options {
     min_events_per_sec: Option<f64>,
     baseline_only: bool,
     list_scenarios: bool,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -90,11 +108,14 @@ fn parse_args() -> Options {
             }
             "--baseline-only" => opts.baseline_only = true,
             "--list-scenarios" => opts.list_scenarios = true,
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().unwrap_or_else(|| missing("--trace-out")).into());
+            }
             other => {
                 eprintln!(
                     "error: unknown argument {other:?} (valid: --json <path>, --compare <path>, \
                      --tolerance <frac>, --min-events-per-sec <n>, --baseline-only, \
-                     --list-scenarios)"
+                     --list-scenarios, --trace-out <path>)"
                 );
                 std::process::exit(2);
             }
@@ -118,12 +139,16 @@ fn main() {
     let _ = bench_scale();
     let _ = rt_workers();
     let _ = rt_nodes();
+    let trace_request = trace_request(&opts);
     if opts.list_scenarios {
         list_scenarios();
         return;
     }
     if !opts.baseline_only {
         report_tables();
+    }
+    if let Some((mode, path)) = &trace_request {
+        export_trace(*mode, path);
     }
     if opts.json_out.is_none() && opts.compare_with.is_none() {
         return;
@@ -164,8 +189,104 @@ fn main() {
     }
 }
 
+/// Resolves the trace-export request from the knobs and flags, up front so
+/// an inconsistent request aborts before any simulation runs: `None` when
+/// tracing is off, the effective `(mode, path)` otherwise (`--trace-out`
+/// beats `NEXUS_TRACE_OUT`; a path with no explicit mode means Chrome).
+fn trace_request(opts: &Options) -> Option<(TraceMode, std::path::PathBuf)> {
+    let mode = trace_mode();
+    let path = opts
+        .trace_out
+        .clone()
+        .or_else(|| trace_out().map(std::path::PathBuf::from));
+    let Some(path) = path else {
+        if mode != TraceMode::Off {
+            eprintln!(
+                "error: NEXUS_TRACE: trace mode set but no output path \
+                 (pass --trace-out <path> or set NEXUS_TRACE_OUT)"
+            );
+            std::process::exit(2);
+        }
+        return None;
+    };
+    let mode = if mode == TraceMode::Off {
+        TraceMode::Chrome
+    } else {
+        mode
+    };
+    Some((mode, path))
+}
+
+/// Runs the traced scenario and writes its span log to `path` (see
+/// [`trace_request`] and the module docs).
+///
+/// The scenario is the skewed imbalanced trace under most-loaded stealing —
+/// chosen because it exercises every span kind: forwards, steals, multi-hop
+/// link traffic and cross-node retirements. Chrome output is parsed back and
+/// validated (one complete span per retired task) before the function
+/// returns, so CI can treat a zero exit as "the trace is loadable".
+fn export_trace(mode: TraceMode, path: &std::path::Path) {
+    let trace = distributed::imbalanced(4, 160, 6.0, SimDuration::from_us(50), 0.0, 42);
+    let cfg = ClusterConfig::new(4, 8)
+        .with_link(cluster_link())
+        .with_stealing(StealKind::MostLoaded)
+        .with_engine(event_engine());
+    let mut rec = MemRecorder::new(TimeBase::VirtualPs);
+    let out = simulate_cluster_traced(&trace, &cfg, |_| NexusSharp::paper(6), &mut rec);
+
+    let body = match mode {
+        TraceMode::Chrome => chrome_trace(&rec),
+        TraceMode::Text => text_timeline(&rec),
+        TraceMode::Off => unreachable!("defaulted to chrome above"),
+    };
+    if let Err(e) = std::fs::write(path, &body) {
+        eprintln!("error: --trace-out: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+
+    if mode == TraceMode::Chrome {
+        // Parse the file we just wrote and check the span census: exactly one
+        // "X" (complete) event per retired task.
+        let parsed = Json::parse(&body).unwrap_or_else(|e| {
+            eprintln!("error: trace output is not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        let spans = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(|events| {
+                events
+                    .iter()
+                    .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+                    .count() as u64
+            })
+            .unwrap_or(0);
+        if spans != out.tasks {
+            eprintln!(
+                "error: trace span census mismatch: {spans} complete spans for {} retired tasks",
+                out.tasks
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "trace written to {} ({} span events, {} complete spans, {} steals)",
+            path.display(),
+            rec.len(),
+            spans,
+            out.steals
+        );
+    } else {
+        println!(
+            "trace timeline written to {} ({} span events, {} steals)",
+            path.display(),
+            rec.len(),
+            out.steals
+        );
+    }
+}
+
 /// The PR number stamped into freshly written baselines.
-const BASELINE_PR: u64 = 8;
+const BASELINE_PR: u64 = 9;
 /// The workload scale of the tracked scenarios — fixed (independent of
 /// `NEXUS_BENCH_SCALE`) so baselines are comparable across runs.
 const BASELINE_SCALE: f64 = 0.01;
@@ -384,7 +505,61 @@ fn report_tables() {
     policy_section();
     topology_section();
     service_section();
+    engine_profile_section();
     runtime_section();
+}
+
+/// Profiles the pluggable event engines on one 8-node run: per-event-kind
+/// handler wall time plus queue pop/push/coalesce counters, calendar vs.
+/// heap. This is the measurement behind the roadmap's claim that the
+/// per-node manager model (the `master_step`/`pump` handlers), not the event
+/// queue, dominates the 8-node hot path. Wall-clock numbers,
+/// machine-dependent.
+fn engine_profile_section() {
+    let link = cluster_link();
+    let trace = distributed::sparselu(8, 0.5, 42, 0.002);
+    let mut table = Table::new(
+        "Quick engine profile: dist-sparselu, 8 nodes, Nexus# 6TG per node",
+        &[
+            "engine",
+            "events",
+            "pops",
+            "coalesced",
+            "hottest event kinds (count, handler wall)",
+        ],
+    );
+    for engine in [nexus_sim::EngineKind::Calendar, nexus_sim::EngineKind::Heap] {
+        let cfg = ClusterConfig::new(8, 8).with_link(link).with_engine(engine);
+        let driver = ClusterDriver::new(&cfg, |_| NexusSharp::paper(6));
+        let (out, prof) = driver.run_profiled(&trace);
+        // The three hottest handlers by accumulated wall time.
+        let mut kinds: Vec<(String, u64, u64)> = prof
+            .counters_with_prefix("engine.event.")
+            .filter_map(|(key, wall)| {
+                let kind = key.strip_suffix(".wall_ns")?.to_string();
+                let count = prof.counter(&format!("{kind}.count"));
+                Some((kind, count, wall))
+            })
+            .collect();
+        kinds.sort_by_key(|&(_, _, wall)| std::cmp::Reverse(wall));
+        let hottest = kinds
+            .iter()
+            .take(3)
+            .map(|(kind, count, wall)| {
+                let name = kind.strip_prefix("engine.event.").unwrap_or(kind);
+                format!("{name} ({count}, {:.2} ms)", *wall as f64 / 1e6)
+            })
+            .collect::<Vec<_>>()
+            .join("  ");
+        table.row(vec![
+            engine.name().into(),
+            format!("{}", out.sim_events),
+            format!("{}", prof.counter("engine.pops")),
+            format!("{}", prof.counter("engine.inline_coalesced")),
+            hottest,
+        ]);
+    }
+    table.print();
 }
 
 /// The live-runtime smoke sample: the same placement/stealing policies, real

@@ -148,6 +148,51 @@ fn positive_usize_knob(var: &str, what: &str, default: usize) -> usize {
     v
 }
 
+/// Trace output mode selected by the observability knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Tracing disabled (the default).
+    #[default]
+    Off,
+    /// Chrome-trace JSON (loadable in Perfetto / `chrome://tracing`).
+    Chrome,
+    /// Compact human-readable text timeline.
+    Text,
+}
+
+/// The trace export format used by `quick_report`: `NEXUS_TRACE=off`
+/// (default), `chrome` or `text`, case-insensitively. Typos abort with the
+/// list of valid values.
+pub fn trace_mode() -> TraceMode {
+    let Ok(raw) = std::env::var("NEXUS_TRACE") else {
+        return TraceMode::Off;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" | "" => TraceMode::Off,
+        "chrome" | "json" => TraceMode::Chrome,
+        "text" | "timeline" => TraceMode::Text,
+        other => env_knob_error(
+            "NEXUS_TRACE",
+            &format!("unknown trace mode {other:?} (expected off|chrome|text)"),
+        ),
+    }
+}
+
+/// The trace output path used by `quick_report`: `NEXUS_TRACE_OUT=<path>`
+/// (overridden by the `--trace-out` flag). `None` when unset; an empty or
+/// all-whitespace path aborts loudly — a misquoted shell variable must not
+/// silently drop the trace.
+pub fn trace_out() -> Option<String> {
+    let raw = std::env::var("NEXUS_TRACE_OUT").ok()?;
+    if raw.trim().is_empty() {
+        env_knob_error(
+            "NEXUS_TRACE_OUT",
+            "empty trace output path (expected a writable file path)",
+        );
+    }
+    Some(raw)
+}
+
 /// Worker threads per node for the live-runtime benches:
 /// `NEXUS_RT_WORKERS=<n>` (default 2). Zero or unparsable values abort
 /// loudly.
@@ -250,6 +295,8 @@ mod tests {
         assert_eq!(admit_depth(), nexus_cluster::AdmissionConfig::DEFAULT_DEPTH);
         assert_eq!(rt_workers(), 2);
         assert_eq!(rt_nodes(), 4);
+        assert_eq!(trace_mode(), TraceMode::Off);
+        assert_eq!(trace_out(), None);
     }
 
     #[test]

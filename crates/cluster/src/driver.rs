@@ -55,12 +55,14 @@ use nexus_host::manager::{ManagerEvent, TaskManager};
 use nexus_host::master::{MasterSm, MasterStep};
 use nexus_host::metrics::SimOutcome;
 use nexus_host::pool::WorkerPool;
+use nexus_obs::{Recorder, Registry, SpanEvent};
 use nexus_sched::{NodeLoad, StealPolicy};
 use nexus_sim::events::TimedEvent;
 use nexus_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 use nexus_topo::{DistanceMatrix, Fabric};
 use nexus_trace::{TaskDescriptor, TaskId, Trace};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Words on the wire for a retirement / dependency notification (message tag
 /// plus task id).
@@ -115,6 +117,77 @@ enum Event {
         /// What happens when the message leaves the last hop.
         then: Deliver,
     },
+}
+
+impl Event {
+    /// Event-kind names for the profiling registry, indexed by
+    /// [`Event::kind_index`].
+    const KINDS: [&'static str; 13] = [
+        "master_step",
+        "descriptor_arrive",
+        "notify_arrive",
+        "pump",
+        "ready",
+        "worker_finish",
+        "worker_free",
+        "retired",
+        "master_saw_retire",
+        "steal_request",
+        "stolen_arrive",
+        "steal_failed",
+        "relay",
+    ];
+
+    fn kind_index(&self) -> usize {
+        match self {
+            Event::MasterStep => 0,
+            Event::DescriptorArrive { .. } => 1,
+            Event::NotifyArrive { .. } => 2,
+            Event::Pump { .. } => 3,
+            Event::Ready { .. } => 4,
+            Event::WorkerFinish { .. } => 5,
+            Event::WorkerFree { .. } => 6,
+            Event::Retired { .. } => 7,
+            Event::MasterSawRetire { .. } => 8,
+            Event::StealRequest { .. } => 9,
+            Event::StolenArrive { .. } => 10,
+            Event::StealFailed { .. } => 11,
+            Event::Relay { .. } => 12,
+        }
+    }
+}
+
+/// Wall-clock profile of the event loop, filled by
+/// [`ClusterDriver::run_profiled`]: per-event-kind handler time and queue
+/// pop/push/coalesce counts. Kept *outside* [`ClusterOutcome`] because wall
+/// times are nondeterministic and the outcome is compared bit-for-bit across
+/// engines.
+#[derive(Debug, Default)]
+struct EngineProf {
+    counts: [u64; Event::KINDS.len()],
+    wall_ns: [u64; Event::KINDS.len()],
+    pops: u64,
+    pushes: u64,
+    inline_coalesced: u64,
+}
+
+impl EngineProf {
+    fn note(&mut self, kind: usize, elapsed_ns: u64) {
+        self.counts[kind] += 1;
+        self.wall_ns[kind] += elapsed_ns;
+    }
+
+    fn export(&self, reg: &mut Registry) {
+        for (i, name) in Event::KINDS.iter().enumerate() {
+            if self.counts[i] > 0 {
+                reg.add(&format!("engine.event.{name}.count"), self.counts[i]);
+                reg.add(&format!("engine.event.{name}.wall_ns"), self.wall_ns[i]);
+            }
+        }
+        reg.add("engine.pops", self.pops);
+        reg.add("engine.pushes", self.pushes);
+        reg.add("engine.inline_coalesced", self.inline_coalesced);
+    }
 }
 
 /// Terminal action of a message once it leaves the fabric — the payload a
@@ -384,6 +457,7 @@ pub struct ClusterDriver<M> {
     nodes: Vec<NodeState<M>>,
     net: Interconnect,
     steals: u64,
+    steal_grants: u64,
     steal_failures: u64,
 }
 
@@ -445,6 +519,7 @@ impl<M: TaskManager> ClusterDriver<M> {
             nodes,
             net: Interconnect::with_fabric(fabric),
             steals: 0,
+            steal_grants: 0,
             steal_failures: 0,
         }
     }
@@ -473,7 +548,29 @@ impl<M: TaskManager> ClusterDriver<M> {
     /// Runs `trace` to completion on the cluster. Panics if the simulation
     /// deadlocks (which would indicate a model bug).
     pub fn run(self, trace: &Trace) -> ClusterOutcome {
-        self.run_inner(trace, None).0
+        self.run_inner(trace, None, None, None).0
+    }
+
+    /// Runs `trace` with a [`Recorder`] attached: the event loop emits
+    /// task-lifecycle span events ([`SpanEvent`]) stamped in virtual
+    /// picoseconds. The recorder is purely observational — the outcome is
+    /// bit-identical to [`ClusterDriver::run`], asserted across the full
+    /// determinism grid.
+    pub fn run_recorded(self, trace: &Trace, rec: &mut dyn Recorder) -> ClusterOutcome {
+        self.run_inner(trace, None, Some(rec), None).0
+    }
+
+    /// Runs `trace` with the event loop profiled: returns the outcome plus a
+    /// [`Registry`] of per-event-kind handler wall time (`engine.event.*`)
+    /// and queue pop/push/coalesce counters (`engine.pops`, `engine.pushes`,
+    /// `engine.inline_coalesced`). The wall times are nondeterministic, which
+    /// is why they ride outside the (bit-compared) [`ClusterOutcome`].
+    pub fn run_profiled(self, trace: &Trace) -> (ClusterOutcome, Registry) {
+        let mut prof = EngineProf::default();
+        let outcome = self.run_inner(trace, None, None, Some(&mut prof)).0;
+        let mut reg = Registry::new();
+        prof.export(&mut reg);
+        (outcome, reg)
     }
 
     /// Runs `trace` as a *service*: submissions are released by `source`
@@ -487,6 +584,27 @@ impl<M: TaskManager> ClusterDriver<M> {
     /// Panics if an open-loop source's overlay does not cover exactly the
     /// trace's submissions, or if the simulation deadlocks.
     pub fn run_streaming(self, trace: &Trace, source: &StreamingSource) -> StreamOutcome {
+        self.run_streaming_inner(trace, source, None)
+    }
+
+    /// [`ClusterDriver::run_streaming`] with a [`Recorder`] attached (see
+    /// [`ClusterDriver::run_recorded`]); open-loop runs additionally emit
+    /// [`SpanEvent::Backpressure`] when admission blocks the source clock.
+    pub fn run_streaming_recorded(
+        self,
+        trace: &Trace,
+        source: &StreamingSource,
+        rec: &mut dyn Recorder,
+    ) -> StreamOutcome {
+        self.run_streaming_inner(trace, source, Some(rec))
+    }
+
+    fn run_streaming_inner(
+        self,
+        trace: &Trace,
+        source: &StreamingSource,
+        rec: Option<&mut dyn Recorder>,
+    ) -> StreamOutcome {
         let tasks = trace.task_count();
         let nodes = self.cfg.nodes;
         let flow = match &source.overlay {
@@ -503,7 +621,7 @@ impl<M: TaskManager> ClusterDriver<M> {
             }
             None => FlowState::closed_loop(tasks, nodes),
         };
-        let (cluster, flow) = self.run_inner(trace, Some(flow));
+        let (cluster, flow) = self.run_inner(trace, Some(flow), rec, None);
         let fs = flow.expect("run_inner returns the flow state it was given");
         StreamOutcome {
             cluster,
@@ -517,11 +635,15 @@ impl<M: TaskManager> ClusterDriver<M> {
 
     /// The event loop shared by [`ClusterDriver::run`] (`flow == None`) and
     /// [`ClusterDriver::run_streaming`]. With `flow == None` every flow hook
-    /// compiles to a no-op check, keeping the closed-loop path untouched.
+    /// compiles to a no-op check, keeping the closed-loop path untouched; the
+    /// same holds for `rec` (span tracing) and `prof` (event-loop profiling),
+    /// each a single `Option` branch when disabled.
     fn run_inner(
         mut self,
         trace: &Trace,
         mut flow: Option<FlowState>,
+        mut rec: Option<&mut dyn Recorder>,
+        mut prof: Option<&mut EngineProf>,
     ) -> (ClusterOutcome, Option<FlowState>) {
         let tasks: Vec<&TaskDescriptor> = trace.tasks().collect();
         let idx_of = IdMap::build(&tasks);
@@ -550,9 +672,13 @@ impl<M: TaskManager> ClusterDriver<M> {
         // iteration directly, skipping one queue round-trip per hop without
         // perturbing the deterministic event order.
         let mut inline_next: Option<TimedEvent<Event>> = None;
+        let mut inline_coalesced: u64 = 0;
         loop {
             let ev = match inline_next.take() {
-                Some(ev) => ev,
+                Some(ev) => {
+                    inline_coalesced += 1;
+                    ev
+                }
                 None => match queue.pop() {
                     Some(ev) => ev,
                     None => break,
@@ -561,6 +687,11 @@ impl<M: TaskManager> ClusterDriver<M> {
             let now = ev.time;
             makespan = makespan.max(now);
             events_processed += 1;
+            // Profiling samples the wall clock only when a profile is
+            // attached; the disabled path is one `Option` check per event.
+            let prof_start = prof
+                .as_ref()
+                .map(|_| (Instant::now(), ev.payload.kind_index()));
             if events_processed > self.cfg.max_events {
                 panic!(
                     "cluster simulation exceeded {} events on {}",
@@ -582,13 +713,36 @@ impl<M: TaskManager> ClusterDriver<M> {
                             // (future arrival time or full admission queue);
                             // the cursor stays put and the same submit is
                             // re-offered on the next master step.
-                            let deferred = flow
-                                .as_mut()
-                                .is_some_and(|fs| fs.gate_submit(home, idx, now, &mut queue));
+                            let deferred = match flow.as_mut() {
+                                None => false,
+                                Some(fs) => {
+                                    let bp_before = fs.backpressure_events;
+                                    let d = fs.gate_submit(home, idx, now, &mut queue);
+                                    if fs.backpressure_events > bp_before {
+                                        if let Some(r) = rec.as_mut() {
+                                            r.record(
+                                                now.as_ps(),
+                                                SpanEvent::Backpressure { node: home },
+                                            );
+                                        }
+                                    }
+                                    d
+                                }
+                            };
                             if !deferred {
                                 master.commit_submit(task, now);
                                 if let Some(fs) = flow.as_mut() {
                                     fs.note_submit(home, idx, now);
+                                }
+                                if let Some(r) = rec.as_mut() {
+                                    r.record(now.as_ps(), SpanEvent::Submitted { task: idx });
+                                    r.record(
+                                        now.as_ps(),
+                                        SpanEvent::Placed {
+                                            task: idx,
+                                            node: home,
+                                        },
+                                    );
                                 }
                                 // Forward the descriptor to its home node.
                                 let sender_free = self.send_msg(
@@ -598,6 +752,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                                     now,
                                     Deliver::Descriptor { node: home, idx },
                                     &mut queue,
+                                    &mut rec,
                                 );
                                 // Subscribe to (or directly forward) the
                                 // remote dependency notifications the task
@@ -617,6 +772,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                                                 now,
                                                 Deliver::Notify { idx },
                                                 &mut queue,
+                                                &mut rec,
                                             );
                                             notifications += 1;
                                         }
@@ -651,6 +807,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                         &mut queue,
                         &mut scratch,
                         &mut flow,
+                        &mut rec,
                     );
                 }
 
@@ -667,6 +824,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                         &mut queue,
                         &mut scratch,
                         &mut flow,
+                        &mut rec,
                     );
                 }
 
@@ -682,6 +840,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                         &mut queue,
                         &mut scratch,
                         &mut flow,
+                        &mut rec,
                     );
                 }
 
@@ -689,7 +848,16 @@ impl<M: TaskManager> ClusterDriver<M> {
                     let n = &mut self.nodes[node];
                     n.touch(now);
                     n.pool.enqueue(task);
-                    Self::dispatch(n, node, now, &idx_of, &durations, &mut queue, &mut scratch);
+                    Self::dispatch(
+                        n,
+                        node,
+                        now,
+                        &idx_of,
+                        &durations,
+                        &mut queue,
+                        &mut scratch,
+                        &mut rec,
+                    );
                 }
 
                 Event::WorkerFinish { node, task, worker } => {
@@ -705,7 +873,16 @@ impl<M: TaskManager> ClusterDriver<M> {
                     let n = &mut self.nodes[node];
                     n.touch(now);
                     n.pool.release(worker);
-                    Self::dispatch(n, node, now, &idx_of, &durations, &mut queue, &mut scratch);
+                    Self::dispatch(
+                        n,
+                        node,
+                        now,
+                        &idx_of,
+                        &durations,
+                        &mut queue,
+                        &mut scratch,
+                        &mut rec,
+                    );
                 }
 
                 Event::Retired { node, task } => {
@@ -719,6 +896,9 @@ impl<M: TaskManager> ClusterDriver<M> {
                     if let Some(fs) = flow.as_mut() {
                         fs.latencies[idx] = now.since(fs.submitted_at[idx]);
                     }
+                    if let Some(r) = rec.as_mut() {
+                        r.record(now.as_ps(), SpanEvent::Retired { task: idx, node });
+                    }
                     // Forward the retirement to every subscribed consumer…
                     for sub in std::mem::take(&mut metas[idx].subscribers) {
                         let home = metas[sub].home;
@@ -729,6 +909,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                             now,
                             Deliver::Notify { idx: sub },
                             &mut queue,
+                            &mut rec,
                         );
                         notifications += 1;
                     }
@@ -740,6 +921,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                         now,
                         Deliver::MasterRetire { task },
                         &mut queue,
+                        &mut rec,
                     );
                     // A task-pool slot may have been freed.
                     self.pump(
@@ -750,6 +932,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                         &mut queue,
                         &mut scratch,
                         &mut flow,
+                        &mut rec,
                     );
                 }
 
@@ -769,6 +952,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                         &tasks,
                         &mut queue,
                         &mut flow,
+                        &mut rec,
                     );
                 }
 
@@ -801,6 +985,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                         &mut queue,
                         &mut scratch,
                         &mut flow,
+                        &mut rec,
                     );
                 }
 
@@ -818,6 +1003,10 @@ impl<M: TaskManager> ClusterDriver<M> {
                     words,
                     then,
                 } => {
+                    if let Some(r) = rec.as_mut() {
+                        let (link, tier) = self.net.hop_link(from, to, hop);
+                        r.record(now.as_ps(), SpanEvent::LinkHop { link, tier, words });
+                    }
                     let d = self.net.send_hop(from, to, hop, words, now);
                     let payload = if hop + 1 == self.net.hops(from, to) {
                         then.into_event()
@@ -843,7 +1032,19 @@ impl<M: TaskManager> ClusterDriver<M> {
             }
 
             if steal_enabled {
-                self.try_steals(now, &metas, &distances, steal_policy.as_mut(), &mut queue);
+                self.try_steals(
+                    now,
+                    &metas,
+                    &distances,
+                    steal_policy.as_mut(),
+                    &mut queue,
+                    &mut rec,
+                );
+            }
+            if let Some((t0, kind)) = prof_start {
+                if let Some(p) = prof.as_mut() {
+                    p.note(kind, t0.elapsed().as_nanos() as u64);
+                }
             }
             if let Some(te) = pending_inline.take() {
                 let beats_queue = queue.peek_key().is_none_or(|min| (te.time, te.seq) < min);
@@ -871,6 +1072,12 @@ impl<M: TaskManager> ClusterDriver<M> {
         let retired: u64 = self.nodes.iter().map(|n| n.retired).sum();
         assert_eq!(retired as usize, tasks.len());
 
+        if let Some(p) = prof.as_mut() {
+            p.pops = events_processed - inline_coalesced;
+            p.pushes = queue.total_scheduled();
+            p.inline_coalesced = inline_coalesced;
+        }
+
         let link = LinkStats {
             messages: self.net.messages(),
             words: self.net.words(),
@@ -879,6 +1086,35 @@ impl<M: TaskManager> ClusterDriver<M> {
             peak_utilization: self.net.peak_utilization(makespan),
             per_tier: self.net.tier_stats(),
         };
+
+        // The registry the outcome's scalar fields are views over. Populated
+        // once here from the driver's deterministic tallies (no hot-path
+        // registry operations), so the engine-equivalence grid can compare it
+        // bit for bit.
+        let mut metrics = Registry::new();
+        metrics.add("task.executed", executed);
+        metrics.add("task.retired", retired);
+        metrics.add("notify.sent", notifications);
+        metrics.add("steal.stolen", self.steals);
+        metrics.add("steal.grants", self.steal_grants);
+        metrics.add("steal.failures", self.steal_failures);
+        metrics.add("sim.events", events_processed);
+        metrics.add("link.messages", link.messages);
+        metrics.add("link.words", link.words);
+        for tier in &link.per_tier {
+            metrics.add(&format!("link.tier{}.messages", tier.tier), tier.messages);
+            metrics.add(&format!("link.tier{}.words", tier.tier), tier.words);
+        }
+        for n in &self.nodes {
+            metrics.sample("node.pending.max", n.max_pending as u64);
+            metrics.sample("node.executed", n.executed);
+        }
+        if let Some(fs) = flow.as_ref() {
+            if fs.gated {
+                metrics.add("stream.backpressure", fs.backpressure_events);
+                metrics.sample("stream.admission.max", fs.max_admitted as u64);
+            }
+        }
         let max_pending_depth = self.nodes.iter().map(|n| n.max_pending).max().unwrap_or(0);
         let per_node: Vec<SimOutcome> = self
             .nodes
@@ -912,13 +1148,14 @@ impl<M: TaskManager> ClusterDriver<M> {
             master_barrier_time: master.barrier_time(),
             per_node,
             edges,
-            notifications,
-            steals: self.steals,
-            steal_failures: self.steal_failures,
-            sim_events: events_processed,
+            notifications: metrics.counter("notify.sent"),
+            steals: metrics.counter("steal.stolen"),
+            steal_failures: metrics.counter("steal.failures"),
+            sim_events: metrics.counter("sim.events"),
             link,
             max_pending_depth,
             master_last_writer,
+            metrics,
         };
         (outcome, flow)
     }
@@ -962,6 +1199,7 @@ impl<M: TaskManager> ClusterDriver<M> {
     /// terminal [`Deliver`] fires when the message leaves the last hop.
     /// Node-local messages (`from == to`) bypass the network and deliver
     /// immediately. Returns when the sender's interface is free again.
+    #[allow(clippy::too_many_arguments)]
     fn send_msg(
         &mut self,
         from: usize,
@@ -970,10 +1208,15 @@ impl<M: TaskManager> ClusterDriver<M> {
         now: SimTime,
         then: Deliver,
         queue: &mut EventQueue<Event>,
+        rec: &mut Option<&mut dyn Recorder>,
     ) -> SimTime {
         if from == to {
             queue.schedule(now, then.into_event());
             return now;
+        }
+        if let Some(r) = rec.as_mut() {
+            let (link, tier) = self.net.hop_link(from, to, 0);
+            r.record(now.as_ps(), SpanEvent::LinkHop { link, tier, words });
         }
         let d = self.net.send_hop(from, to, 0, words, now);
         if self.net.hops(from, to) == 1 {
@@ -1027,6 +1270,7 @@ impl<M: TaskManager> ClusterDriver<M> {
         distances: &DistanceMatrix,
         policy: &mut dyn StealPolicy,
         queue: &mut EventQueue<Event>,
+        rec: &mut Option<&mut dyn Recorder>,
     ) {
         if !self.nodes.iter().any(|n| Self::may_steal(n, now)) {
             return;
@@ -1067,6 +1311,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                 now,
                 Deliver::StealRequest { thief, victim },
                 queue,
+                rec,
             );
         }
     }
@@ -1087,6 +1332,7 @@ impl<M: TaskManager> ClusterDriver<M> {
         tasks: &[&TaskDescriptor],
         queue: &mut EventQueue<Event>,
         flow: &mut Option<FlowState>,
+        rec: &mut Option<&mut dyn Recorder>,
     ) {
         self.nodes[victim].touch(now);
         // Positions of the youngest eligible descriptors, collected from the
@@ -1116,11 +1362,13 @@ impl<M: TaskManager> ClusterDriver<M> {
                 now,
                 Deliver::StealFailed { thief },
                 queue,
+                rec,
             );
             return;
         }
         // The request is resolved; the thief stays quiet until every granted
         // descriptor has landed (it has no capacity for more anyway).
+        self.steal_grants += 1;
         self.nodes[thief].steal_inflight = false;
         self.nodes[thief].incoming_steals += positions.len();
         for pos in positions {
@@ -1148,6 +1396,16 @@ impl<M: TaskManager> ClusterDriver<M> {
             metas[idx].consumers = consumers;
             metas[idx].home = thief;
             self.steals += 1;
+            if let Some(r) = rec.as_mut() {
+                r.record(
+                    now.as_ps(),
+                    SpanEvent::Stolen {
+                        task: idx,
+                        from: victim,
+                        to: thief,
+                    },
+                );
+            }
             self.send_msg(
                 victim,
                 thief,
@@ -1155,6 +1413,7 @@ impl<M: TaskManager> ClusterDriver<M> {
                 now,
                 Deliver::Stolen { node: thief, idx },
                 queue,
+                rec,
             );
         }
     }
@@ -1174,6 +1433,7 @@ impl<M: TaskManager> ClusterDriver<M> {
         queue: &mut EventQueue<Event>,
         scratch: &mut Vec<ManagerEvent>,
         flow: &mut Option<FlowState>,
+        rec: &mut Option<&mut dyn Recorder>,
     ) {
         let n = &mut self.nodes[node];
         while let Some(&idx) = n.pending.front() {
@@ -1198,6 +1458,9 @@ impl<M: TaskManager> ClusterDriver<M> {
             n.pending.pop_front();
             if let Some(fs) = flow.as_mut() {
                 fs.on_slot_freed(node, now, queue);
+            }
+            if let Some(r) = rec.as_mut() {
+                r.record(now.as_ps(), SpanEvent::Dispatched { task: idx, node });
             }
             let release = n.manager.submit(tasks[idx], now);
             Self::drain(n, node, now, queue, scratch);
@@ -1238,6 +1501,7 @@ impl<M: TaskManager> ClusterDriver<M> {
     }
 
     /// Hands queued ready tasks to free workers on `node`.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         n: &mut NodeState<M>,
         node: usize,
@@ -1246,15 +1510,28 @@ impl<M: TaskManager> ClusterDriver<M> {
         durations: &[SimDuration],
         queue: &mut EventQueue<Event>,
         scratch: &mut Vec<ManagerEvent>,
+        rec: &mut Option<&mut dyn Recorder>,
     ) {
         let manager = &mut n.manager;
         let pool = &mut n.pool;
         pool.dispatch(|task, worker, speed| {
+            let idx = idx_of.idx(task);
             let extra = manager.dispatch_cost(task, now);
             manager.drain_events_into(scratch);
+            if let Some(r) = rec.as_mut() {
+                // The body begins once the manager's dispatch cost is paid.
+                r.record(
+                    (now + extra).as_ps(),
+                    SpanEvent::Started {
+                        task: idx,
+                        node,
+                        worker,
+                    },
+                );
+            }
             // A core of speed `speed/1000`× executes the task proportionally
             // faster (exact for the uniform default: `d * 1000 / 1000 == d`).
-            let dur = durations[idx_of.idx(task)] * 1000 / speed;
+            let dur = durations[idx] * 1000 / speed;
             queue.schedule(
                 now + extra + dur,
                 Event::WorkerFinish { node, task, worker },
@@ -1272,6 +1549,19 @@ pub fn simulate_cluster<M: TaskManager>(
     make_manager: impl FnMut(usize) -> M,
 ) -> ClusterOutcome {
     ClusterDriver::new(cfg, make_manager).run(trace)
+}
+
+/// Runs `trace` on a cluster configured by `cfg` with a [`Recorder`]
+/// attached: the event loop emits task-lifecycle span events stamped in
+/// virtual picoseconds (see [`ClusterDriver::run_recorded`]). Convenience
+/// wrapper around [`ClusterDriver`].
+pub fn simulate_cluster_traced<M: TaskManager>(
+    trace: &Trace,
+    cfg: &ClusterConfig,
+    make_manager: impl FnMut(usize) -> M,
+    rec: &mut dyn Recorder,
+) -> ClusterOutcome {
+    ClusterDriver::new(cfg, make_manager).run_recorded(trace, rec)
 }
 
 /// Runs `trace` as a service on a cluster configured by `cfg`: submissions
@@ -1560,6 +1850,138 @@ mod tests {
             trace.task_count(),
             "every task must retire exactly once"
         );
+    }
+
+    #[test]
+    fn streaming_recorder_is_observational_and_sees_backpressure() {
+        // Open-loop streaming with a tight admission bound: the recorder must
+        // not perturb the StreamOutcome, and the Backpressure span events
+        // must agree with the outcome's counter.
+        let trace = distributed::unhinted(&distributed::sparselu(4, 0.4, 7, 0.002));
+        let arrivals: Vec<SimTime> = (0..trace.task_count())
+            .map(|i| SimTime::ZERO + us(5) * i as u64)
+            .collect();
+        let overlay = nexus_trace::arrivals::ArrivalOverlay::new(arrivals).unwrap();
+        let source = StreamingSource::open_loop(overlay, crate::stream::AdmissionConfig::new(4));
+        let cfg = ClusterConfig::new(4, 4)
+            .with_link(LinkConfig::rdma())
+            .with_stealing(StealKind::MostLoaded);
+        let plain = simulate_streaming(&trace, &source, &cfg, |_| tight_sharp());
+        let mut rec = nexus_obs::MemRecorder::new(nexus_obs::TimeBase::VirtualPs);
+        let traced = ClusterDriver::new(&cfg, |_| tight_sharp())
+            .run_streaming_recorded(&trace, &source, &mut rec);
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+        let bp = rec.count(|ev| matches!(ev, nexus_obs::SpanEvent::Backpressure { .. }));
+        assert_eq!(bp as u64, traced.backpressure_events);
+        assert!(bp > 0, "tight bound must actually back-pressure");
+        assert_eq!(
+            traced.cluster.metrics.counter("stream.backpressure"),
+            traced.backpressure_events,
+            "stream counters fold into the outcome registry"
+        );
+        nexus_obs::check_conservation(&rec.events)
+            .expect("streaming trace must conserve the task lifecycle");
+    }
+
+    #[test]
+    fn recorder_is_purely_observational_across_the_grid() {
+        // The tentpole invariant of the observability layer: attaching a
+        // recorder must not perturb the simulation. Every topology ×
+        // placement × stealing combination of the determinism grid, on both
+        // event engines, must produce a bit-identical `ClusterOutcome` with
+        // tracing on vs. off.
+        let trace = distributed::unhinted(&distributed::sparselu(4, 0.4, 7, 0.002));
+        for engine in [nexus_sim::EngineKind::Heap, nexus_sim::EngineKind::Calendar] {
+            for topology in crate::config::Topology::ALL {
+                for placement in PolicyKind::ALL {
+                    for stealing in StealKind::ALL {
+                        let cfg = ClusterConfig::new(4, 4)
+                            .with_link(LinkConfig::rdma().with_topology(topology))
+                            .with_placement(placement)
+                            .with_stealing(stealing)
+                            .with_engine(engine);
+                        let plain = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+                        let mut rec = nexus_obs::MemRecorder::new(nexus_obs::TimeBase::VirtualPs);
+                        let traced =
+                            simulate_cluster_traced(&trace, &cfg, |_| tight_sharp(), &mut rec);
+                        assert_eq!(
+                            format!("{plain:?}"),
+                            format!("{traced:?}"),
+                            "recorder perturbed {engine:?}/{topology:?}/{placement}/{stealing}"
+                        );
+                        assert!(!rec.is_empty(), "recorder saw no events");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_spans_conserve_the_task_lifecycle() {
+        // Every submitted task retires exactly once and its lifecycle
+        // timestamps are monotone; steals and link hops show up in the log.
+        let trace = distributed::imbalanced(4, 48, 6.0, us(50), 0.0, 5);
+        let cfg = ClusterConfig::new(4, 2)
+            .with_link(LinkConfig::rdma())
+            .with_stealing(StealKind::MostLoaded);
+        let mut rec = nexus_obs::MemRecorder::new(nexus_obs::TimeBase::VirtualPs);
+        let out = simulate_cluster_traced(&trace, &cfg, |_| tight_sharp(), &mut rec);
+        let report = nexus_obs::check_conservation(&rec.events)
+            .expect("cluster trace must conserve the task lifecycle");
+        assert_eq!(report.submitted as u64, out.tasks);
+        assert_eq!(report.retired as u64, out.tasks);
+        assert_eq!(report.started as u64, out.tasks);
+        assert_eq!(report.stolen as u64, out.steals);
+        assert!(out.steals > 0, "scenario must actually steal");
+        let hops = rec.count(|ev| matches!(ev, nexus_obs::SpanEvent::LinkHop { .. }));
+        assert_eq!(hops as u64, out.link.messages, "one LinkHop per link entry");
+    }
+
+    #[test]
+    fn outcome_metrics_mirror_the_scalar_fields() {
+        let trace = distributed::imbalanced(4, 48, 6.0, us(50), 0.0, 5);
+        let cfg = ClusterConfig::new(4, 2)
+            .with_link(LinkConfig::rdma())
+            .with_stealing(StealKind::MostLoaded);
+        let out = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+        assert_eq!(out.metrics.counter("task.executed"), out.tasks);
+        assert_eq!(out.metrics.counter("steal.stolen"), out.steals);
+        assert_eq!(out.metrics.counter("steal.failures"), out.steal_failures);
+        assert!(out.metrics.counter("steal.grants") > 0);
+        assert_eq!(out.metrics.counter("notify.sent"), out.notifications);
+        assert_eq!(out.metrics.counter("sim.events"), out.sim_events);
+        assert_eq!(out.metrics.counter("link.words"), out.link.words);
+        assert_eq!(
+            out.metrics.counter("link.tier0.words"),
+            out.link.per_tier[0].words
+        );
+        let pending = out.metrics.gauge("node.pending.max").unwrap();
+        assert_eq!(pending.max, out.max_pending_depth as u64);
+    }
+
+    #[test]
+    fn profiled_run_reports_engine_activity_without_touching_the_outcome() {
+        let trace = distributed::sparselu(4, 0.3, 9, 0.002);
+        let cfg = ClusterConfig::new(4, 4);
+        let plain = simulate_cluster(&trace, &cfg, |_| IdealManager::new());
+        let (profiled, prof) =
+            ClusterDriver::new(&cfg, |_| IdealManager::new()).run_profiled(&trace);
+        assert_eq!(format!("{plain:?}"), format!("{profiled:?}"));
+        // Per-kind counts add up to the loop's event total, and the queue
+        // accounting is consistent: every processed event was either popped
+        // from the queue or coalesced inline.
+        let per_kind: u64 = prof
+            .counters_with_prefix("engine.event.")
+            .filter(|(k, _)| k.ends_with(".count"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(per_kind, profiled.sim_events);
+        assert_eq!(
+            prof.counter("engine.pops") + prof.counter("engine.inline_coalesced"),
+            profiled.sim_events
+        );
+        assert!(prof.counter("engine.pushes") >= prof.counter("engine.pops"));
+        assert!(prof.counter("engine.event.master_step.count") > 0);
     }
 
     #[test]

@@ -97,6 +97,15 @@ impl Interconnect {
         self.links[route[hop]].send(now, words)
     }
 
+    /// Identifies hop `hop` of the `from → to` route as a `(link index,
+    /// tier)` pair — the coordinates span tracing stamps onto
+    /// `SpanEvent::LinkHop` events.
+    #[inline]
+    pub fn hop_link(&self, from: usize, to: usize, hop: usize) -> (usize, usize) {
+        let link = self.fabric.route(from, to)[hop];
+        (link, self.fabric.links()[link].tier)
+    }
+
     /// Total messages that entered a link (multi-hop messages count once per
     /// hop).
     pub fn messages(&self) -> u64 {

@@ -3,6 +3,7 @@
 
 use crate::routing::EdgeStats;
 use nexus_host::SimOutcome;
+use nexus_obs::Registry;
 use nexus_sim::stats::LoadBalance;
 use nexus_sim::SimDuration;
 use nexus_trace::TaskId;
@@ -112,6 +113,13 @@ pub struct ClusterOutcome {
     /// trace under the same routing must converge to the same table (the
     /// `nexus-rt` conformance suite checks exactly that).
     pub master_last_writer: Vec<(u64, TaskId)>,
+    /// The metrics registry the scalar fields above are views over
+    /// (`task.*`, `steal.*`, `notify.*`, `link.*`, `sim.*`; plus `stream.*`
+    /// on open-loop streaming runs). Key names are shared with the live
+    /// runtime's `ShutdownReport` so the conformance suite can compare both
+    /// sides directly. Deterministic — the engine-equivalence grid compares
+    /// it bit for bit.
+    pub metrics: Registry,
 }
 
 impl ClusterOutcome {
@@ -221,6 +229,7 @@ mod tests {
             },
             max_pending_depth: 1,
             master_last_writer: Vec::new(),
+            metrics: Registry::new(),
         }
     }
 

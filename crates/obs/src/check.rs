@@ -1,0 +1,184 @@
+//! Trace-conservation checks shared by the simulator and runtime test
+//! suites: every submitted task retires exactly once, and the lifecycle
+//! timestamps of each task are monotone (`Submitted ≤ Placed ≤ Dispatched ≤
+//! Started ≤ Retired` where present).
+
+use std::collections::BTreeMap;
+
+use crate::span::SpanEvent;
+
+/// Aggregate counts returned by a successful [`check_conservation`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConservationReport {
+    /// Tasks submitted.
+    pub submitted: usize,
+    /// Tasks that started executing.
+    pub started: usize,
+    /// Tasks retired.
+    pub retired: usize,
+    /// Steal grants observed.
+    pub stolen: usize,
+}
+
+#[derive(Default)]
+struct Lifecycle {
+    submitted: Option<u64>,
+    submitted_count: usize,
+    placed: Option<u64>,
+    dispatched: Option<u64>,
+    started: Option<u64>,
+    retired: Option<u64>,
+    retired_count: usize,
+}
+
+/// Validates task-lifecycle conservation over a recorded event log.
+///
+/// Checks, per task: at most one `Submitted` and exactly one `Retired` for
+/// every submitted task, no retirement without submission, and monotone
+/// timestamps across the lifecycle stages that were recorded. Returns the
+/// aggregate counts on success and a description of the first violation
+/// otherwise.
+pub fn check_conservation(events: &[(u64, SpanEvent)]) -> Result<ConservationReport, String> {
+    let mut tasks: BTreeMap<usize, Lifecycle> = BTreeMap::new();
+    let mut report = ConservationReport::default();
+
+    for &(at, ev) in events {
+        let Some(task) = ev.task() else { continue };
+        let life = tasks.entry(task).or_default();
+        match ev {
+            SpanEvent::Submitted { .. } => {
+                life.submitted = Some(at);
+                life.submitted_count += 1;
+                report.submitted += 1;
+            }
+            SpanEvent::Placed { .. } => life.placed = Some(at),
+            SpanEvent::Dispatched { .. } => life.dispatched = Some(at),
+            SpanEvent::Started { .. } => {
+                life.started = Some(at);
+                report.started += 1;
+            }
+            SpanEvent::Retired { .. } => {
+                life.retired = Some(at);
+                life.retired_count += 1;
+                report.retired += 1;
+            }
+            SpanEvent::Stolen { .. } => report.stolen += 1,
+            SpanEvent::LinkHop { .. } | SpanEvent::Backpressure { .. } => {}
+        }
+    }
+
+    for (&task, life) in &tasks {
+        if life.submitted_count > 1 {
+            return Err(format!(
+                "task {task} submitted {} times",
+                life.submitted_count
+            ));
+        }
+        if life.submitted_count == 1 && life.retired_count != 1 {
+            return Err(format!(
+                "task {task} submitted once but retired {} times",
+                life.retired_count
+            ));
+        }
+        if life.submitted_count == 0 && life.retired_count > 0 {
+            return Err(format!("task {task} retired without being submitted"));
+        }
+        // Timestamp monotonicity over whichever stages were recorded.
+        let stages = [
+            ("submitted", life.submitted),
+            ("placed", life.placed),
+            ("dispatched", life.dispatched),
+            ("started", life.started),
+            ("retired", life.retired),
+        ];
+        let mut prev: Option<(&str, u64)> = None;
+        for (name, at) in stages {
+            let Some(at) = at else { continue };
+            if let Some((prev_name, prev_at)) = prev {
+                if prev_at > at {
+                    return Err(format!(
+                        "task {task}: {prev_name} at {prev_at} after {name} at {at}"
+                    ));
+                }
+            }
+            prev = Some((name, at));
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{MemRecorder, Recorder, TimeBase};
+
+    fn full_lifecycle(rec: &mut MemRecorder, task: usize, base: u64) {
+        rec.record(base, SpanEvent::Submitted { task });
+        rec.record(base + 1, SpanEvent::Placed { task, node: 0 });
+        rec.record(base + 2, SpanEvent::Dispatched { task, node: 0 });
+        rec.record(
+            base + 3,
+            SpanEvent::Started {
+                task,
+                node: 0,
+                worker: 0,
+            },
+        );
+        rec.record(base + 9, SpanEvent::Retired { task, node: 0 });
+    }
+
+    #[test]
+    fn complete_lifecycles_pass() {
+        let mut rec = MemRecorder::new(TimeBase::VirtualPs);
+        full_lifecycle(&mut rec, 0, 0);
+        full_lifecycle(&mut rec, 1, 100);
+        let report = check_conservation(&rec.events).unwrap();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.started, 2);
+        assert_eq!(report.retired, 2);
+    }
+
+    #[test]
+    fn missing_retirement_is_a_violation() {
+        let mut rec = MemRecorder::new(TimeBase::VirtualPs);
+        rec.record(0, SpanEvent::Submitted { task: 5 });
+        let err = check_conservation(&rec.events).unwrap_err();
+        assert!(err.contains("task 5"), "{err}");
+        assert!(err.contains("retired 0 times"), "{err}");
+    }
+
+    #[test]
+    fn double_retirement_is_a_violation() {
+        let mut rec = MemRecorder::new(TimeBase::VirtualPs);
+        full_lifecycle(&mut rec, 2, 0);
+        rec.record(50, SpanEvent::Retired { task: 2, node: 1 });
+        let err = check_conservation(&rec.events).unwrap_err();
+        assert!(err.contains("retired 2 times"), "{err}");
+    }
+
+    #[test]
+    fn retirement_before_start_is_a_violation() {
+        let mut rec = MemRecorder::new(TimeBase::VirtualPs);
+        rec.record(0, SpanEvent::Submitted { task: 3 });
+        rec.record(
+            10,
+            SpanEvent::Started {
+                task: 3,
+                node: 0,
+                worker: 0,
+            },
+        );
+        rec.record(4, SpanEvent::Retired { task: 3, node: 0 });
+        let err = check_conservation(&rec.events).unwrap_err();
+        assert!(err.contains("started at 10 after retired at 4"), "{err}");
+    }
+
+    #[test]
+    fn orphan_retirement_is_a_violation() {
+        let mut rec = MemRecorder::new(TimeBase::VirtualPs);
+        rec.record(4, SpanEvent::Retired { task: 9, node: 0 });
+        let err = check_conservation(&rec.events).unwrap_err();
+        assert!(err.contains("without being submitted"), "{err}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Named metrics registry: monotonic counters and sampled gauges.
+//!
+//! `ClusterOutcome`, `StreamOutcome` and the runtime's `ShutdownReport` are
+//! views over one of these, so the simulator and the live runtime expose the
+//! same key names and the conformance suite can compare them directly. Merge
+//! is associative (and counter-merge commutative), which is what per-node
+//! aggregation needs.
+
+use std::collections::BTreeMap;
+
+/// A sampled gauge: last/max/sum/count of the observed values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    /// Most recently sampled value.
+    pub last: u64,
+    /// Largest value sampled so far.
+    pub max: u64,
+    /// Number of samples taken.
+    pub samples: u64,
+    /// Sum of all samples (wide to avoid overflow on long runs).
+    pub sum: u128,
+}
+
+impl Gauge {
+    /// Mean of the samples, or 0.0 when none were taken.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Named monotonic counters plus sampled gauges.
+///
+/// Keys use dotted lowercase paths (`steal.stolen`, `link.tier0.words`,
+/// `engine.pops`). Backed by `BTreeMap` so `Debug` output — which the
+/// determinism grid compares — is ordered and stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Gauge>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Increments counter `key` by `delta` (creating it at zero first).
+    pub fn add(&mut self, key: &str, delta: u64) {
+        if let Some(slot) = self.counters.get_mut(key) {
+            *slot += delta;
+        } else {
+            self.counters.insert(key.to_string(), delta);
+        }
+    }
+
+    /// Current value of counter `key` (0 when never incremented).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Records one observation of gauge `key`.
+    pub fn sample(&mut self, key: &str, value: u64) {
+        let g = self.gauges.entry(key.to_string()).or_default();
+        g.last = value;
+        g.max = g.max.max(value);
+        g.samples += 1;
+        g.sum += u128::from(value);
+    }
+
+    /// The gauge stored under `key`, if any sample was ever taken.
+    pub fn gauge(&self, key: &str) -> Option<Gauge> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Folds `other` into `self`: counters add; each gauge merges max/sum/
+    /// samples, with `last` taken from `other` when it has samples (so a
+    /// left-to-right fold behaves like log concatenation). Associative.
+    pub fn merge(&mut self, other: &Registry) {
+        for (key, value) in &other.counters {
+            self.add(key, *value);
+        }
+        for (key, theirs) in &other.gauges {
+            let g = self.gauges.entry(key.clone()).or_default();
+            if theirs.samples > 0 {
+                g.last = theirs.last;
+            }
+            g.max = g.max.max(theirs.max);
+            g.samples += theirs.samples;
+            g.sum += theirs.sum;
+        }
+    }
+
+    /// Counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, Gauge)> {
+        self.gauges.iter().map(|(k, g)| (k.as_str(), *g))
+    }
+
+    /// Counters whose key starts with `prefix`, in key order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters().filter(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// True when no counter or gauge exists.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(pairs: &[(&str, u64)], samples: &[(&str, u64)]) -> Registry {
+        let mut r = Registry::new();
+        for (k, v) in pairs {
+            r.add(k, *v);
+        }
+        for (k, v) in samples {
+            r.sample(k, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Registry::new();
+        r.add("steal.stolen", 2);
+        r.add("steal.stolen", 3);
+        assert_eq!(r.counter("steal.stolen"), 5);
+        assert_eq!(r.counter("never.touched"), 0);
+    }
+
+    #[test]
+    fn gauges_track_last_max_mean() {
+        let mut r = Registry::new();
+        for v in [4, 10, 1] {
+            r.sample("queue.depth", v);
+        }
+        let g = r.gauge("queue.depth").unwrap();
+        assert_eq!(g.last, 1);
+        assert_eq!(g.max, 10);
+        assert_eq!(g.samples, 3);
+        assert_eq!(g.mean(), 5.0);
+        assert!(r.gauge("missing").is_none());
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = reg(&[("c", 1), ("only.a", 7)], &[("g", 3)]);
+        let b = reg(&[("c", 10)], &[("g", 9), ("h", 2)]);
+        let c = reg(&[("c", 100), ("only.c", 5)], &[("g", 1)]);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right);
+        assert_eq!(left.counter("c"), 111);
+        let g = left.gauge("g").unwrap();
+        assert_eq!((g.last, g.max, g.samples), (1, 9, 3));
+    }
+
+    #[test]
+    fn counter_merge_is_commutative() {
+        let a = reg(&[("x", 1), ("y", 2)], &[]);
+        let b = reg(&[("x", 10), ("z", 3)], &[]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn prefix_iteration_is_ordered() {
+        let r = reg(
+            &[
+                ("link.tier1.words", 2),
+                ("link.tier0.words", 1),
+                ("steal.stolen", 9),
+            ],
+            &[],
+        );
+        let tiers: Vec<_> = r.counters_with_prefix("link.").collect();
+        assert_eq!(
+            tiers,
+            vec![("link.tier0.words", 1), ("link.tier1.words", 2)]
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use nexus_cluster::{ClusterConfig, LinkConfig};
+use nexus_obs::SharedRecorder;
 use nexus_sched::{PolicyKind, StealKind};
 
 /// Configuration of a [`ClusterRuntime`](crate::ClusterRuntime).
@@ -33,6 +34,12 @@ pub struct RtConfig {
     /// `1/s` of that). `0` — the default — skips the sleep entirely: task
     /// bodies still run, which is what the conformance grid wants.
     pub time_scale_ns_per_us: u64,
+    /// Optional span recorder the runtime threads stamp task-lifecycle
+    /// events into (wall-clock nanoseconds since the recorder's epoch). The
+    /// schema matches the event simulator's, so one exporter serves both.
+    /// Keep a clone to snapshot after the run; `None` — the default — makes
+    /// every emission site a branch on a cold `Option`.
+    pub recorder: Option<SharedRecorder>,
 }
 
 impl RtConfig {
@@ -48,6 +55,7 @@ impl RtConfig {
             link: LinkConfig::default(),
             worker_speeds: None,
             time_scale_ns_per_us: 0,
+            recorder: None,
         }
     }
 
@@ -63,6 +71,7 @@ impl RtConfig {
             link: cfg.link,
             worker_speeds: None,
             time_scale_ns_per_us: 0,
+            recorder: None,
         }
     }
 
@@ -100,6 +109,14 @@ impl RtConfig {
         self.time_scale_ns_per_us = ns_per_us;
         self
     }
+
+    /// Same runtime with a span recorder attached (see
+    /// [`RtConfig::recorder`]). Pass a clone and keep the original to
+    /// [`snapshot`](SharedRecorder::snapshot) the log after the run.
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +143,15 @@ mod tests {
         assert_eq!(rt.stealing, StealKind::Half);
         assert_eq!(rt.link, sim.link);
         assert_eq!(rt.time_scale_ns_per_us, 0);
+        assert!(rt.recorder.is_none());
+    }
+
+    #[test]
+    fn with_recorder_shares_one_log_with_the_caller_clone() {
+        let rec = SharedRecorder::new();
+        let cfg = RtConfig::new(1, 1).with_recorder(rec.clone());
+        let attached = cfg.recorder.expect("recorder attached");
+        attached.record_now(nexus_obs::SpanEvent::Submitted { task: 0 });
+        assert_eq!(rec.len(), 1);
     }
 }

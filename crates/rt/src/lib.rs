@@ -20,6 +20,14 @@
 //! tasks at the same homes, retire in *some* legal topological order of the
 //! same dependence graph, and converge to the same final last-writer table.
 //!
+//! Observability mirrors the simulator's: attach a
+//! [`SharedRecorder`] via [`RtConfig::with_recorder`] and every thread
+//! stamps the same `nexus-obs` span schema (`Submitted` → `Placed` →
+//! `Dispatched` → `Started` → `Retired`, plus `Stolen`) in monotonic
+//! wall-clock nanoseconds, ready for the shared Chrome-trace exporter; the
+//! [`ShutdownReport`] carries a metrics [`Registry`]
+//! whose counter names match `ClusterOutcome::metrics`.
+//!
 //! The lifecycle is tokio-style, split across two types: a non-cloneable
 //! owner ([`ClusterRuntime`]) whose `new` spawns nothing, whose `start`
 //! spawns the threads exactly once, and whose `shutdown_timeout` /
@@ -63,6 +71,7 @@ pub mod runtime;
 pub mod task;
 
 pub use config::RtConfig;
+pub use nexus_obs::{MemRecorder, Registry, SharedRecorder, SpanEvent, TimeBase};
 pub use runtime::{
     ClusterRuntime, NodeStatsSnapshot, RuntimeHandle, ShutdownReport, TraceRunReport,
 };

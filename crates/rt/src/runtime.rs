@@ -33,6 +33,7 @@ use crate::task::{RtTask, SubmitError, TaskBody};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use nexus_cluster::routing::DepScanner;
 use nexus_host::{MasterSm, MasterStep};
+use nexus_obs::{Registry, SharedRecorder, SpanEvent};
 use nexus_sched::{NodeLoad, StealPolicy};
 use nexus_sim::{FxHashMap, FxHashSet, SimDuration, SimTime};
 use nexus_topo::DistanceMatrix;
@@ -126,6 +127,8 @@ struct NodeStats {
     stolen_in: u64,
     stolen_out: u64,
     steal_requests: u64,
+    steal_grants: u64,
+    steal_failures: u64,
 }
 
 /// Everything shared about one node.
@@ -167,6 +170,9 @@ struct Inner {
     shutdown: AtomicBool,
     log: Mutex<RetireLog>,
     log_cv: Condvar,
+    /// Span recorder shared by master, manager and worker threads (`None`
+    /// when tracing is off — the emission sites skip even the clock read).
+    rec: Option<SharedRecorder>,
 }
 
 impl Inner {
@@ -192,6 +198,11 @@ pub struct NodeStatsSnapshot {
     pub stolen_out: u64,
     /// Steal requests this node issued while idle.
     pub steal_requests: u64,
+    /// Steal requests this node answered with a non-empty batch (as the
+    /// victim) — the live counterpart of the simulator's grant count.
+    pub steal_grants: u64,
+    /// Steal requests this node answered empty-handed (as the victim).
+    pub steal_failures: u64,
     /// Tasks completed per worker thread of this node.
     pub per_worker_done: Vec<u64>,
 }
@@ -208,6 +219,12 @@ pub struct ShutdownReport {
     pub pending: u64,
     /// Final per-node statistics.
     pub per_node: Vec<NodeStatsSnapshot>,
+    /// Metrics registry folded associatively over the per-node statistics.
+    /// Counter names match the event simulator's `ClusterOutcome::metrics`
+    /// (`task.executed`, `task.retired`, `steal.stolen`, `steal.grants`,
+    /// `steal.failures`), so the conformance suite can compare the live and
+    /// simulated censuses key by key.
+    pub metrics: Registry,
 }
 
 /// Result of replaying a whole trace (see [`RuntimeHandle::run_trace`]).
@@ -344,6 +361,7 @@ impl ClusterRuntime {
             shutdown: AtomicBool::new(false),
             log: Mutex::new(RetireLog::default()),
             log_cv: Condvar::new(),
+            rec: cfg.recorder.clone(),
         });
 
         for (node, rx) in mgr_rx.into_iter().enumerate() {
@@ -412,6 +430,7 @@ impl ClusterRuntime {
                 retired: 0,
                 pending: 0,
                 per_node: Vec::new(),
+                metrics: Registry::new(),
             };
         }
         self.state = State::Stopped;
@@ -453,11 +472,27 @@ impl ClusterRuntime {
         };
         let submitted = inner.submitted.load(Ordering::Acquire);
         let retired = inner.lock_log().order.len() as u64;
+        let per_node = handle.node_stats();
+        // One registry per node, folded with the associative merge — the
+        // same shape the simulator builds its outcome registry in.
+        let mut metrics = Registry::new();
+        for s in &per_node {
+            let mut node = Registry::new();
+            node.add("task.executed", s.executed);
+            node.add("steal.stolen", s.stolen_in);
+            node.add("steal.grants", s.steal_grants);
+            node.add("steal.failures", s.steal_failures);
+            node.add("steal.requests", s.steal_requests);
+            node.sample("node.executed", s.executed);
+            metrics.merge(&node);
+        }
+        metrics.add("task.retired", retired);
         ShutdownReport {
             submitted,
             retired,
             pending: submitted.saturating_sub(retired),
-            per_node: handle.node_stats(),
+            per_node,
+            metrics,
         }
     }
 }
@@ -509,6 +544,13 @@ impl RuntimeHandle {
             }
         }
         self.inner.submitted.fetch_add(1, Ordering::AcqRel);
+        if let Some(r) = &self.inner.rec {
+            r.record_now(SpanEvent::Submitted { task: idx });
+            r.record_now(SpanEvent::Placed {
+                task: idx,
+                node: rec.home,
+            });
+        }
         self.inner.mgr_tx[rec.home]
             .send(MgrMsg::Submit {
                 idx,
@@ -580,6 +622,8 @@ impl RuntimeHandle {
                     stolen_in: stats.stolen_in,
                     stolen_out: stats.stolen_out,
                     steal_requests: stats.steal_requests,
+                    steal_grants: stats.steal_grants,
+                    steal_failures: stats.steal_failures,
                     per_worker_done: shared
                         .per_worker_done
                         .iter()
@@ -743,6 +787,12 @@ impl Mgr {
                     log.order.push(id);
                     log.set.insert(id);
                 }
+                if let Some(r) = &self.inner.rec {
+                    r.record_now(SpanEvent::Retired {
+                        task: idx,
+                        node: self.node,
+                    });
+                }
                 self.inner.log_cv.notify_all();
                 self.producer_retired(idx);
                 if home == self.node {
@@ -767,7 +817,20 @@ impl Mgr {
                     tasks.push(self.ready.pop_back().expect("batch clamped to backlog"));
                 }
                 if n > 0 {
-                    self.stats().stolen_out += n as u64;
+                    let mut stats = self.stats();
+                    stats.stolen_out += n as u64;
+                    stats.steal_grants += 1;
+                } else {
+                    self.stats().steal_failures += 1;
+                }
+                if let Some(r) = &self.inner.rec {
+                    for t in &tasks {
+                        r.record_now(SpanEvent::Stolen {
+                            task: t.idx,
+                            from: self.node,
+                            to: thief,
+                        });
+                    }
                 }
                 let _ = self.inner.mgr_tx[thief].send(MgrMsg::StealGrant { tasks });
             }
@@ -833,6 +896,12 @@ impl Mgr {
                 break;
             };
             self.free -= 1;
+            if let Some(r) = &self.inner.rec {
+                r.record_now(SpanEvent::Dispatched {
+                    task: t.idx,
+                    node: self.node,
+                });
+            }
             let _ = self.worker_tx.send(WorkerMsg::Run {
                 idx: t.idx,
                 id: t.id,
@@ -915,6 +984,13 @@ fn worker_loop(
                 duration,
                 body,
             } => {
+                if let Some(r) = &shared.rec {
+                    r.record_now(SpanEvent::Started {
+                        task: idx,
+                        node,
+                        worker,
+                    });
+                }
                 if let Some(body) = body {
                     body();
                 }
@@ -1008,6 +1084,49 @@ mod tests {
         h.taskwait_on(0xDEAD);
         let report = rt.shutdown_timeout(Duration::from_secs(10));
         assert_eq!(report.pending, 0);
+    }
+
+    #[test]
+    fn recorder_sees_a_conserved_task_lifecycle() {
+        let rec = SharedRecorder::new();
+        let mut rt = ClusterRuntime::new(RtConfig::new(2, 2).with_recorder(rec.clone()));
+        let h = rt.start();
+        for id in 0..32u64 {
+            h.submit(RtTask::new(chain_task(id, 0x2000 + id % 8)))
+                .unwrap();
+        }
+        h.taskwait();
+        let report = rt.shutdown_timeout(Duration::from_secs(10));
+        assert_eq!(report.pending, 0);
+
+        let snap = rec.snapshot();
+        let conserved = nexus_obs::check_conservation(&snap.events)
+            .expect("live span log violates lifecycle conservation");
+        assert_eq!(conserved.submitted, 32);
+        assert_eq!(conserved.started, 32);
+        assert_eq!(conserved.retired, 32);
+        // Every lifecycle stage was stamped for every task.
+        assert_eq!(snap.count(|e| e.kind() == "placed"), 32);
+        assert_eq!(snap.count(|e| e.kind() == "dispatched"), 32);
+    }
+
+    #[test]
+    fn shutdown_metrics_mirror_the_node_stats() {
+        let mut rt = ClusterRuntime::new(RtConfig::new(2, 2));
+        let h = rt.start();
+        for id in 0..24u64 {
+            h.submit(RtTask::new(chain_task(id, 0x3000 + id))).unwrap();
+        }
+        h.taskwait();
+        let report = rt.shutdown_timeout(Duration::from_secs(10));
+        assert_eq!(report.metrics.counter("task.executed"), 24);
+        assert_eq!(report.metrics.counter("task.retired"), 24);
+        assert_eq!(report.metrics.counter("steal.stolen"), 0);
+        let max_node = report.per_node.iter().map(|s| s.executed).max().unwrap();
+        assert_eq!(
+            report.metrics.gauge("node.executed").map(|g| g.max),
+            Some(max_node)
+        );
     }
 
     #[test]

@@ -146,6 +146,26 @@ fn check_case(trace: &Trace, nodes: usize, stealing: StealKind) {
     // (6) a drained shutdown reports nothing pending.
     assert_eq!(report.pending, 0, "{ctx} pending after drain");
     assert_eq!(report.retired, tasks, "{ctx} report retired");
+
+    // (7) the live metrics registry agrees with the simulator's under the
+    // shared key names — the execution census is identical on both sides.
+    assert_eq!(
+        report.metrics.counter("task.executed"),
+        sim.metrics.counter("task.executed"),
+        "{ctx} executed census diverges between live and simulated registries"
+    );
+    assert_eq!(
+        report.metrics.counter("task.retired"),
+        sim.metrics.counter("task.retired"),
+        "{ctx} retired census diverges between live and simulated registries"
+    );
+    if !stealing.is_enabled() {
+        assert_eq!(
+            report.metrics.counter("steal.stolen") + report.metrics.counter("steal.grants"),
+            0,
+            "{ctx} stealing disabled but the registry recorded steals"
+        );
+    }
 }
 
 fn run_grid(stealing: StealKind) {
@@ -175,7 +195,12 @@ fn stealing_moves_real_work() {
     let cfg = ClusterConfig::new(4, 2).with_stealing(StealKind::MostLoaded);
     // A small time scale keeps node 0's backlog alive long enough for the
     // idle nodes' steal ticks to fire.
-    let mut rt = ClusterRuntime::new(RtConfig::from_cluster(&cfg).with_time_scale(2_000));
+    let rec = nexus_rt::SharedRecorder::new();
+    let mut rt = ClusterRuntime::new(
+        RtConfig::from_cluster(&cfg)
+            .with_time_scale(2_000)
+            .with_recorder(rec.clone()),
+    );
     let handle = rt.start();
     handle.run_trace(&trace).expect("replay failed");
     let stats = handle.node_stats();
@@ -185,4 +210,20 @@ fn stealing_moves_real_work() {
     assert!(stolen > 0, "no descriptor was ever stolen: {stats:?}");
     let executed: u64 = stats.iter().map(|s| s.executed).sum();
     assert_eq!(executed, trace.task_count() as u64);
+
+    // The victim side accounts every grant, and the registry surfaces the
+    // same totals (stolen_in at the thieves == Stolen spans at the victims).
+    let grants: u64 = stats.iter().map(|s| s.steal_grants).sum();
+    assert!(grants > 0, "steals happened but no grant was counted");
+    assert_eq!(report.metrics.counter("steal.stolen"), stolen);
+    assert_eq!(report.metrics.counter("steal.grants"), grants);
+
+    let snap = rec.snapshot();
+    let conserved =
+        nexus_obs::check_conservation(&snap.events).expect("live span log breaks conservation");
+    assert_eq!(conserved.retired, trace.task_count());
+    assert_eq!(
+        conserved.stolen as u64, stolen,
+        "Stolen spans != stolen_in census"
+    );
 }

@@ -17,6 +17,7 @@
 //! | [`host`] | `nexus-host` | the simulated multicore host / testbench (§V) |
 //! | [`topo`] | `nexus-topo` | non-uniform interconnect topologies (fabric graphs, distance matrices) |
 //! | [`sched`] | `nexus-sched` | pluggable placement and work-stealing policies |
+//! | [`obs`] | `nexus-obs` | task-lifecycle tracing, metrics registry, Chrome-trace export |
 //! | [`cluster`] | `nexus-cluster` | multi-node cluster simulation with an interconnect model |
 //! | [`flow`] | `nexus-flow` | streaming ingestion: open-loop arrivals, latency percentiles, knee sweeps |
 //! | [`runtime`] | `nexus-runtime` | a real single-node threaded runtime using the Nexus# algorithm |
@@ -47,6 +48,7 @@ pub use nexus_core as sharp;
 pub use nexus_flow as flow;
 pub use nexus_host as host;
 pub use nexus_nanos as nanos;
+pub use nexus_obs as obs;
 pub use nexus_pp as pp;
 pub use nexus_resources as resources;
 pub use nexus_rt as rt;
@@ -68,6 +70,7 @@ pub mod prelude {
     };
     pub use nexus_host::{simulate, HostConfig, IdealManager, SimOutcome, TaskManager};
     pub use nexus_nanos::NanosRuntime;
+    pub use nexus_obs::{chrome_trace, MemRecorder, Recorder, Registry, SharedRecorder, SpanEvent};
     pub use nexus_pp::{NexusPP, NexusPPConfig};
     pub use nexus_resources::{ManagerConfig, ResourceModel};
     pub use nexus_rt::{ClusterRuntime, RtConfig, RtTask, RuntimeHandle};
