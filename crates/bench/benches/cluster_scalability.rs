@@ -14,13 +14,14 @@
 //! `NEXUS_LINK=rdma|ethernet|ideal` (default rdma),
 //! `NEXUS_POLICY=xorhash|affinity|locality|topo` (default xorhash),
 //! `NEXUS_STEAL=off|steal|steal-half|hier` (default off),
+//! `NEXUS_FEEDBACK=off|place|reclaim|full` (default off),
 //! `NEXUS_TOPO=bus|mesh|racktiers|torus|dragonfly` (default: the link
 //! preset's wiring). All knobs are case-insensitive.
 
 use nexus_bench::report::Table;
 use nexus_bench::runner::{
-    bench_scale, cluster_link, cluster_node_counts, cluster_policy, cluster_steal,
-    cluster_topology, event_engine,
+    bench_scale, cluster_feedback, cluster_link, cluster_node_counts, cluster_policy,
+    cluster_steal, cluster_topology, event_engine,
 };
 use nexus_cluster::{remote_edge_fraction, simulate_cluster, ClusterConfig};
 use nexus_core::NexusSharp;
@@ -36,11 +37,13 @@ fn main() {
     }
     let placement = cluster_policy();
     let stealing = cluster_steal();
+    let feedback = cluster_feedback();
     let engine = event_engine();
     let workers_per_node = 8;
     println!(
         "per-domain sparselu scale: {scale}, link: {link:?}, placement: {placement}, \
-         stealing: {stealing}, engine: {engine}, {workers_per_node} workers/node\n"
+         stealing: {stealing}, feedback: {feedback}, engine: {engine}, \
+         {workers_per_node} workers/node\n"
     );
 
     for remote in [0.0, 0.1, 0.5, 1.0] {
@@ -67,6 +70,7 @@ fn main() {
                 .with_link(link)
                 .with_placement(placement)
                 .with_stealing(stealing)
+                .with_feedback(feedback)
                 .with_engine(engine);
             let out = simulate_cluster(&trace, &cfg, |_| NexusSharp::paper(6));
             table.row(vec![

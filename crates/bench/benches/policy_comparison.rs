@@ -1,7 +1,7 @@
 //! **Policy comparison** — placement policies × work stealing on the
 //! multi-node cluster.
 //!
-//! Two questions, two sweeps:
+//! Three questions, three sweeps:
 //!
 //! 1. **Does stealing recover makespan on imbalanced work?** A deliberately
 //!    skewed partition (node 0 owns 6× the tasks of the last node, affinity
@@ -14,16 +14,27 @@
 //!    policy. `locality` keeps producer→consumer chains on one node, so it
 //!    should move fewer notification words over the interconnect than the
 //!    address-hash `xorhash` baseline at equal node counts.
+//! 3. **Does runtime feedback beat the static stack?** A chain-skewed
+//!    partition (`chained_imbalanced`: node 0 owns 36 serial dependence
+//!    chains, the rest a geometric tail) is run under every `FeedbackKind`
+//!    against the strongest static stack (`TopologyAware` placement +
+//!    `Hierarchical` stealing). Stealing only ever sees the eligible chain
+//!    heads; idle nodes must *reclaim* the dependence-blocked tails out of
+//!    node 0's pool to take over whole chains. The sweep *asserts* the full
+//!    feedback stack lands ≥10% below the static makespan on this fixed
+//!    trace, so a feedback regression fails the bench.
 //!
 //! Run with: `cargo bench -p nexus-bench --bench policy_comparison`
 //! Environment: `NEXUS_BENCH_SCALE=<0..1>` (default 0.1), `NEXUS_FULL=1`,
 //! `NEXUS_LINK=rdma|ethernet|ideal`, `NEXUS_POLICY=xorhash|affinity|locality`
-//! (placement used in the stealing sweep), `NEXUS_STEAL=off|steal`.
+//! (placement used in the stealing sweep), `NEXUS_STEAL=off|steal`,
+//! `NEXUS_FEEDBACK=off|place|reclaim|full` (applied to sweeps 1 and 2;
+//! sweep 3 runs every mode regardless).
 //! All env knobs are case-insensitive and reject typos with the valid values.
 
 use nexus_bench::report::Table;
-use nexus_bench::runner::{bench_scale, cluster_link, cluster_policy};
-use nexus_cluster::{simulate_cluster, ClusterConfig, PolicyKind, StealKind};
+use nexus_bench::runner::{bench_scale, cluster_feedback, cluster_link, cluster_policy};
+use nexus_cluster::{simulate_cluster, ClusterConfig, FeedbackKind, PolicyKind, StealKind};
 use nexus_core::NexusSharp;
 use nexus_sim::SimDuration;
 use nexus_trace::generators::distributed;
@@ -31,9 +42,13 @@ use nexus_trace::generators::distributed;
 fn main() {
     let link = cluster_link();
     let placement = cluster_policy();
+    let feedback = cluster_feedback();
     let scale = bench_scale();
     let workers_per_node = 8;
-    println!("link: {link:?}, stealing-sweep placement: {placement}, scale: {scale}\n");
+    println!(
+        "link: {link:?}, stealing-sweep placement: {placement}, feedback: {feedback}, \
+         scale: {scale}\n"
+    );
 
     // Part 1 — imbalanced domains: stealing recovers the makespan.
     let base_tasks = ((scale * 1920.0) as u64).clamp(96, 1920);
@@ -58,7 +73,8 @@ fn main() {
             let cfg = ClusterConfig::new(nodes, workers_per_node)
                 .with_link(link)
                 .with_placement(placement)
-                .with_stealing(stealing);
+                .with_stealing(stealing)
+                .with_feedback(feedback);
             let out = simulate_cluster(&trace, &cfg, |_| NexusSharp::paper(6));
             table.row(vec![
                 out.stealing.clone(),
@@ -93,7 +109,8 @@ fn main() {
         for placement in PolicyKind::ALL {
             let cfg = ClusterConfig::new(nodes, workers_per_node)
                 .with_link(link)
-                .with_placement(placement);
+                .with_placement(placement)
+                .with_feedback(feedback);
             let out = simulate_cluster(&trace, &cfg, |_| NexusSharp::paper(6));
             table.row(vec![
                 out.placement.clone(),
@@ -106,4 +123,67 @@ fn main() {
         }
         table.print();
     }
+
+    // Part 3 — runtime feedback: live digests + pool reclamation against the
+    // strongest static stack. The trace skews dependence *chains* onto node 0
+    // (geometrically — 36/6/1/1 chains of 16 serial links), so at any instant
+    // a stealing policy sees at most one eligible head per chain while the
+    // blocked tails clog node 0's pool; only the reclamation path can move
+    // them. The reference row is feedback `off` on the same TopologyAware +
+    // Hierarchical stack. Everything here is pinned — fixed trace size and
+    // the default fabric, independent of `NEXUS_BENCH_SCALE`/`NEXUS_LINK` —
+    // because the sweep *asserts* on the deterministic makespans.
+    let coupled = distributed::chained_imbalanced(4, 36, 16, 6.0, SimDuration::from_us(20));
+    let mut table = Table::new(
+        format!(
+            "Feedback — {} on 4 nodes, TopologyAware + Hierarchical, Nexus# 6TG per node",
+            coupled.name
+        ),
+        &[
+            "feedback",
+            "makespan",
+            "speedup",
+            "steals",
+            "reclaims",
+            "link words",
+        ],
+    );
+    let mut makespans = Vec::new();
+    for mode in FeedbackKind::ALL {
+        let cfg = ClusterConfig::new(4, workers_per_node)
+            .with_placement(PolicyKind::TopologyAware)
+            .with_stealing(StealKind::Hierarchical)
+            .with_feedback(mode);
+        let out = simulate_cluster(&coupled, &cfg, |_| NexusSharp::paper(6));
+        table.row(vec![
+            mode.to_string(),
+            format!("{}", out.makespan),
+            format!("{:.2}x", out.speedup()),
+            format!("{}", out.steals),
+            format!("{}", out.reclaims),
+            format!("{}", out.link.words),
+        ]);
+        makespans.push((mode, out.makespan));
+    }
+    table.print();
+
+    let ms = |wanted: FeedbackKind| {
+        makespans
+            .iter()
+            .find(|(mode, _)| *mode == wanted)
+            .map(|(_, m)| m.as_us_f64())
+            .expect("every feedback mode was swept")
+    };
+    let static_ms = ms(FeedbackKind::Off);
+    let full_ms = ms(FeedbackKind::Full);
+    let gain = 1.0 - full_ms / static_ms;
+    println!(
+        "feedback full vs static stack: {:.1}% makespan reduction (assert ≥ 10%)\n",
+        gain * 100.0
+    );
+    assert!(
+        full_ms <= static_ms * 0.90,
+        "full feedback must beat the static TopologyAware+Hierarchical stack by ≥10% \
+         on the imbalanced coupled trace (static {static_ms:.1} us, full {full_ms:.1} us)"
+    );
 }

@@ -46,13 +46,13 @@ use nexus_bench::managers::ManagerKind;
 use nexus_bench::paper::table4_row;
 use nexus_bench::report::{fmt_speedup, Table};
 use nexus_bench::runner::{
-    admit_depth, bench_scale, cluster_link, cluster_policy, cluster_steal, cluster_topology,
-    curves_for, event_engine, rt_nodes, rt_workers, service_arrival, trace_mode, trace_out,
-    TraceMode,
+    admit_depth, bench_scale, cluster_feedback, cluster_link, cluster_policy, cluster_steal,
+    cluster_topology, curves_for, event_engine, rt_nodes, rt_workers, service_arrival, trace_mode,
+    trace_out, TraceMode,
 };
 use nexus_cluster::{
     simulate_cluster, simulate_cluster_traced, AdmissionConfig, ClusterConfig, ClusterDriver,
-    ClusterOutcome, MemRecorder, PolicyKind, StealKind, TimeBase, Topology,
+    ClusterOutcome, FeedbackKind, MemRecorder, PolicyKind, StealKind, TimeBase, Topology,
 };
 use nexus_core::NexusSharp;
 use nexus_flow::{simulate_service, ArrivalConfig, ArrivalKind, ServiceConfig};
@@ -132,6 +132,7 @@ fn main() {
     let _ = cluster_link();
     let _ = cluster_policy();
     let _ = cluster_steal();
+    let _ = cluster_feedback();
     let _ = cluster_topology();
     let _ = event_engine();
     let _ = service_arrival();
@@ -286,7 +287,7 @@ fn export_trace(mode: TraceMode, path: &std::path::Path) {
 }
 
 /// The PR number stamped into freshly written baselines.
-const BASELINE_PR: u64 = 9;
+const BASELINE_PR: u64 = 10;
 /// The workload scale of the tracked scenarios — fixed (independent of
 /// `NEXUS_BENCH_SCALE`) so baselines are comparable across runs.
 const BASELINE_SCALE: f64 = 0.01;
@@ -300,6 +301,7 @@ const TRACKED_SCENARIOS: &[(&str, u64)] = &[
     ("sparselu-8d-r0.5-n8-mesh", 42),
     ("sparselu-8d-r0.5-n8-racktiers-topo-hier", 42),
     ("imbalanced-4n-mostloaded", 42),
+    ("feedback-imbalanced-n4", 42),
     ("service-poisson-n4-depth16", 42),
 ];
 
@@ -374,6 +376,22 @@ fn run_baseline_scenarios() -> Baseline {
             &skewed,
             cfg(4).with_stealing(StealKind::MostLoaded),
         ),
+        {
+            // The feedback scenario skews serial dependence chains onto node
+            // 0 (36/6/1/1 chains of 16 links — stealing only ever sees the
+            // eligible heads, so idle nodes must reclaim the blocked tails).
+            // Tracks the full feedback stack: digests, live placement and
+            // pool reclamation. Fixed size, like every tracked scenario.
+            let chains = distributed::chained_imbalanced(4, 36, 16, 6.0, SimDuration::from_us(20));
+            record(
+                "feedback-imbalanced-n4",
+                &chains,
+                cfg(4)
+                    .with_placement(PolicyKind::TopologyAware)
+                    .with_stealing(StealKind::Hierarchical)
+                    .with_feedback(FeedbackKind::Full),
+            )
+        },
         {
             // The service scenario is pinned to Poisson arrivals at depth 16 —
             // NOT the NEXUS_ARRIVAL / NEXUS_ADMIT_DEPTH knobs — so the
@@ -619,17 +637,22 @@ fn cluster_section() {
 
 /// A small policy comparison: work stealing on a skewed partition, and the
 /// three placement policies on an un-hinted partition (see the
-/// `policy_comparison` bench for the full sweep).
+/// `policy_comparison` bench for the full sweep). `NEXUS_FEEDBACK` applies to
+/// every row, so the same table doubles as a live-feedback smoke run.
 fn policy_section() {
     let link = cluster_link();
+    let feedback = cluster_feedback();
     let mut table = Table::new(
-        "Quick policy run: 4 nodes, Nexus# 6TG per node, 8 workers/node",
+        format!(
+            "Quick policy run: 4 nodes, Nexus# 6TG per node, 8 workers/node, feedback {feedback}"
+        ),
         &[
             "trace",
             "placement",
             "stealing",
             "makespan",
             "steals",
+            "reclaims",
             "link words",
         ],
     );
@@ -638,7 +661,8 @@ fn policy_section() {
     for stealing in StealKind::ALL {
         let cfg = ClusterConfig::new(4, 8)
             .with_link(link)
-            .with_stealing(stealing);
+            .with_stealing(stealing)
+            .with_feedback(feedback);
         let out = simulate_cluster(&skewed, &cfg, |_| NexusSharp::paper(6));
         table.row(vec![
             skewed.name.clone(),
@@ -646,6 +670,7 @@ fn policy_section() {
             out.stealing.clone(),
             format!("{}", out.makespan),
             format!("{}", out.steals),
+            format!("{}", out.reclaims),
             format!("{}", out.link.words),
         ]);
     }
@@ -654,7 +679,8 @@ fn policy_section() {
     for placement in PolicyKind::ALL {
         let cfg = ClusterConfig::new(4, 8)
             .with_link(link)
-            .with_placement(placement);
+            .with_placement(placement)
+            .with_feedback(feedback);
         let out = simulate_cluster(&unhinted, &cfg, |_| NexusSharp::paper(6));
         table.row(vec![
             unhinted.name.clone(),
@@ -662,6 +688,7 @@ fn policy_section() {
             out.stealing.clone(),
             format!("{}", out.makespan),
             format!("{}", out.steals),
+            format!("{}", out.reclaims),
             format!("{}", out.link.words),
         ]);
     }

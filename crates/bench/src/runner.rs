@@ -71,6 +71,17 @@ pub fn cluster_steal() -> nexus_sched::StealKind {
         .unwrap_or_else(|e: String| env_knob_error("NEXUS_STEAL", &e))
 }
 
+/// The runtime-feedback mode used by the cluster benches:
+/// `NEXUS_FEEDBACK=off` (default), `place`, `reclaim` or `full`,
+/// case-insensitively. Typos abort with the list of valid values.
+pub fn cluster_feedback() -> nexus_sched::FeedbackKind {
+    let Ok(raw) = std::env::var("NEXUS_FEEDBACK") else {
+        return nexus_sched::FeedbackKind::default();
+    };
+    raw.parse()
+        .unwrap_or_else(|e: String| env_knob_error("NEXUS_FEEDBACK", &e))
+}
+
 /// The interconnect topology override used by the cluster benches:
 /// `NEXUS_TOPO=bus|mesh|racktiers|torus|dragonfly`, case-insensitively.
 /// `None` when unset — the benches then keep the topology of the selected
@@ -290,6 +301,7 @@ mod tests {
         assert_eq!(cluster_link(), nexus_cluster::LinkConfig::rdma());
         assert_eq!(cluster_policy(), nexus_sched::PolicyKind::XorHash);
         assert_eq!(cluster_steal(), nexus_sched::StealKind::Disabled);
+        assert_eq!(cluster_feedback(), nexus_sched::FeedbackKind::Off);
         assert_eq!(cluster_topology(), None);
         assert_eq!(service_arrival(), nexus_flow::ArrivalKind::Poisson);
         assert_eq!(admit_depth(), nexus_cluster::AdmissionConfig::DEFAULT_DEPTH);

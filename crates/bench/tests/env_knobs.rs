@@ -15,6 +15,7 @@ fn quick_report(envs: &[(&str, &str)], args: &[&str]) -> Output {
         "NEXUS_LINK",
         "NEXUS_POLICY",
         "NEXUS_STEAL",
+        "NEXUS_FEEDBACK",
         "NEXUS_TOPO",
         "NEXUS_EVENT_ENGINE",
         "NEXUS_ARRIVAL",
@@ -103,6 +104,11 @@ fn unknown_topology_aborts_listing_options() {
 }
 
 #[test]
+fn unknown_feedback_mode_aborts_listing_options() {
+    assert_aborts("NEXUS_FEEDBACK", "adaptive", "off|place|reclaim|full");
+}
+
+#[test]
 fn unknown_trace_mode_aborts_listing_options() {
     assert_aborts("NEXUS_TRACE", "perfetto", "off|chrome|text");
 }
@@ -164,6 +170,7 @@ fn valid_knobs_are_case_insensitive() {
             ("NEXUS_ARRIVAL", "PoIsSoN"),
             ("NEXUS_ADMIT_DEPTH", "16"),
             ("NEXUS_LINK", "RDMA"),
+            ("NEXUS_FEEDBACK", "FuLl"),
         ],
         &["--list-scenarios"],
     );
@@ -186,6 +193,7 @@ fn list_scenarios_prints_names_and_seeds() {
         "sparselu-8d-r0.5-n8-mesh",
         "sparselu-8d-r0.5-n8-racktiers-topo-hier",
         "imbalanced-4n-mostloaded",
+        "feedback-imbalanced-n4",
         "service-poisson-n4-depth16",
     ] {
         assert!(

@@ -1,6 +1,6 @@
 //! Cluster and interconnect configuration.
 
-use nexus_sched::{PolicyKind, StealKind};
+use nexus_sched::{FeedbackKind, PolicyKind, StealKind};
 use nexus_sim::{EngineKind, SimDuration};
 use nexus_topo::Fabric;
 use serde::{Deserialize, Serialize};
@@ -100,6 +100,12 @@ pub struct ClusterConfig {
     /// Work-stealing policy for idle nodes. Disabled by default (stolen
     /// descriptors pay the re-forwarding cost over the interconnect).
     pub stealing: StealKind,
+    /// Runtime feedback mode: live load digests piggybacked on retirement
+    /// notifications, consumed by submit-time placement and/or task-pool
+    /// reclamation. [`FeedbackKind::Off`] (the default) keeps the scheduling
+    /// path bit-identical to the static pre-pass behaviour.
+    #[serde(default)]
+    pub feedback: FeedbackKind,
     /// Safety limit on simulation events (guards against model bugs producing
     /// infinite event loops). The default of 10¹⁰ is ~25× what the largest
     /// full-size paper workload generates cluster-wide.
@@ -123,6 +129,7 @@ impl ClusterConfig {
             link: LinkConfig::default(),
             placement: PolicyKind::default(),
             stealing: StealKind::default(),
+            feedback: FeedbackKind::default(),
             max_events: Self::DEFAULT_MAX_EVENTS,
             engine: EngineKind::default(),
         }
@@ -143,6 +150,13 @@ impl ClusterConfig {
     /// Same cluster with a different work-stealing policy.
     pub fn with_stealing(mut self, stealing: StealKind) -> Self {
         self.stealing = stealing;
+        self
+    }
+
+    /// Same cluster with a different runtime-feedback mode (see
+    /// [`ClusterConfig::feedback`]).
+    pub fn with_feedback(mut self, feedback: FeedbackKind) -> Self {
+        self.feedback = feedback;
         self
     }
 
@@ -193,10 +207,13 @@ mod tests {
         let cfg = ClusterConfig::new(2, 4);
         assert_eq!(cfg.placement, PolicyKind::XorHash);
         assert_eq!(cfg.stealing, StealKind::Disabled);
+        assert_eq!(cfg.feedback, FeedbackKind::Off);
         let cfg = cfg
             .with_placement(PolicyKind::LocalityAware)
-            .with_stealing(StealKind::MostLoaded);
+            .with_stealing(StealKind::MostLoaded)
+            .with_feedback(FeedbackKind::Full);
         assert_eq!(cfg.placement, PolicyKind::LocalityAware);
         assert!(cfg.stealing.is_enabled());
+        assert!(cfg.feedback.place_enabled() && cfg.feedback.reclaim_enabled());
     }
 }

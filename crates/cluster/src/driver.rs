@@ -6,7 +6,7 @@
 //! * the **master** (on node 0) streams trace operations in program order
 //!   (the [`MasterSm`] state machine shared with the single-node host driver);
 //!   each submitted task is routed to its home node by the configured
-//!   [`PlacementPolicy`](nexus_sched::PlacementPolicy) (affinity hint +
+//!   [`PlacementPolicy`] (affinity hint +
 //!   XOR distribution function by default) and its descriptor is forwarded
 //!   over the interconnect (`transfer_words()` words, as over PCIe in the
 //!   single-chip design). Messages traverse the fabric hop by hop through
@@ -35,7 +35,21 @@
 //!   stolen descriptor enters the thief's input queue at the *front*: it is
 //!   fully resolved by construction, and parking it behind the thief's own
 //!   blocked head would break the queues' topological order and can deadlock
-//!   the cluster on dependence-heavy traces.
+//!   the cluster on dependence-heavy traces;
+//! * with runtime **feedback** enabled ([`FeedbackKind`], `NEXUS_FEEDBACK`),
+//!   every retirement notification to the master additionally carries the
+//!   retiring node's live load digest ([`LoadView`]) — no new message types
+//!   on the happy path. The master folds the digests into a `LoadTracker`
+//!   consulted by submit-time re-placement (`place` mode, via
+//!   [`FeedbackPlacement`]) and by
+//!   pool-reclamation victim selection (`reclaim` mode): an idle node may
+//!   pull the youngest dependence-*blocked* descriptors — work a steal can
+//!   never reach — out of a loaded pool, paying the same full re-forwarding
+//!   cost as a steal. A reclaimed descriptor is still blocked on arrival, so
+//!   it is *parked* outside the thief's input queue and enters at the front
+//!   only when its last producer notification lands (the stolen-descriptor
+//!   rule); its dependences are re-homed by subscribing it to every
+//!   still-unretired producer at grant time.
 //!
 //! Cross-node anti-dependencies (a remote writer overtaking a remote reader)
 //! are intentionally *not* ordered: as in distributed task-based runtimes
@@ -56,7 +70,10 @@ use nexus_host::master::{MasterSm, MasterStep};
 use nexus_host::metrics::SimOutcome;
 use nexus_host::pool::WorkerPool;
 use nexus_obs::{Recorder, Registry, SpanEvent};
-use nexus_sched::{NodeLoad, StealPolicy};
+use nexus_sched::{
+    FeedbackKind, FeedbackPlacement, LiveLoad, LoadView, NodeLoad, PlacedLoad, PlacementCtx,
+    PlacementPolicy, StealPolicy,
+};
 use nexus_sim::events::TimedEvent;
 use nexus_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 use nexus_topo::{DistanceMatrix, Fabric};
@@ -71,6 +88,15 @@ pub const NOTIFY_WORDS: u64 = 2;
 /// Words on the wire for a steal request or its empty-handed reply (message
 /// tag plus node id).
 pub const STEAL_WORDS: u64 = 2;
+
+/// Words on the wire for a pool-reclamation request or its empty-handed
+/// reply (message tag plus node id — same shape as a steal request).
+pub const RECLAIM_WORDS: u64 = 2;
+
+/// Decay half-life of a live load digest, in virtual picoseconds (200 µs —
+/// a few task lengths at benchmark scale, so a digest that stops refreshing
+/// fades from the placement decision within a handful of retirements).
+const DIGEST_HALF_LIFE_PS: u64 = 200_000_000;
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -95,13 +121,24 @@ enum Event {
     /// A node's manager retired a task.
     Retired { node: usize, task: TaskId },
     /// A retirement notification reaches the master.
-    MasterSawRetire { task: TaskId },
+    MasterSawRetire {
+        task: TaskId,
+        /// The retiring node's load digest riding on the notification
+        /// (attached only while runtime feedback is enabled).
+        load: Option<(usize, LoadView)>,
+    },
     /// An idle node's steal request reaches its victim.
     StealRequest { thief: usize, victim: usize },
     /// A stolen descriptor reaches the thief's input queue.
     StolenArrive { node: usize, idx: usize },
     /// The victim's empty-handed steal reply reaches the thief.
     StealFailed { thief: usize },
+    /// An idle node's pool-reclamation request reaches its victim.
+    ReclaimRequest { thief: usize, victim: usize },
+    /// A reclaimed (still dependence-blocked) descriptor reaches the thief.
+    ReclaimedArrive { node: usize, idx: usize },
+    /// The victim's empty-handed reclaim reply reaches the thief.
+    ReclaimFailed { thief: usize },
     /// A multi-hop message finished hop `hop - 1` of the `from → to` route
     /// and enters hop `hop` now (its physical arrival time at that link —
     /// links are acquired causally, in arrival order).
@@ -122,7 +159,7 @@ enum Event {
 impl Event {
     /// Event-kind names for the profiling registry, indexed by
     /// [`Event::kind_index`].
-    const KINDS: [&'static str; 13] = [
+    const KINDS: [&'static str; 16] = [
         "master_step",
         "descriptor_arrive",
         "notify_arrive",
@@ -135,6 +172,9 @@ impl Event {
         "steal_request",
         "stolen_arrive",
         "steal_failed",
+        "reclaim_request",
+        "reclaimed_arrive",
+        "reclaim_failed",
         "relay",
     ];
 
@@ -152,7 +192,10 @@ impl Event {
             Event::StealRequest { .. } => 9,
             Event::StolenArrive { .. } => 10,
             Event::StealFailed { .. } => 11,
-            Event::Relay { .. } => 12,
+            Event::ReclaimRequest { .. } => 12,
+            Event::ReclaimedArrive { .. } => 13,
+            Event::ReclaimFailed { .. } => 14,
+            Event::Relay { .. } => 15,
         }
     }
 }
@@ -199,13 +242,22 @@ enum Deliver {
     /// Becomes [`Event::NotifyArrive`].
     Notify { idx: usize },
     /// Becomes [`Event::MasterSawRetire`].
-    MasterRetire { task: TaskId },
+    MasterRetire {
+        task: TaskId,
+        load: Option<(usize, LoadView)>,
+    },
     /// Becomes [`Event::StealRequest`].
     StealRequest { thief: usize, victim: usize },
     /// Becomes [`Event::StolenArrive`].
     Stolen { node: usize, idx: usize },
     /// Becomes [`Event::StealFailed`].
     StealFailed { thief: usize },
+    /// Becomes [`Event::ReclaimRequest`].
+    ReclaimRequest { thief: usize, victim: usize },
+    /// Becomes [`Event::ReclaimedArrive`].
+    Reclaimed { node: usize, idx: usize },
+    /// Becomes [`Event::ReclaimFailed`].
+    ReclaimFailed { thief: usize },
 }
 
 /// Task-id → submission-index lookup. Traces built by the generators assign
@@ -251,10 +303,13 @@ impl Deliver {
         match self {
             Deliver::Descriptor { node, idx } => Event::DescriptorArrive { node, idx },
             Deliver::Notify { idx } => Event::NotifyArrive { idx },
-            Deliver::MasterRetire { task } => Event::MasterSawRetire { task },
+            Deliver::MasterRetire { task, load } => Event::MasterSawRetire { task, load },
             Deliver::StealRequest { thief, victim } => Event::StealRequest { thief, victim },
             Deliver::Stolen { node, idx } => Event::StolenArrive { node, idx },
             Deliver::StealFailed { thief } => Event::StealFailed { thief },
+            Deliver::ReclaimRequest { thief, victim } => Event::ReclaimRequest { thief, victim },
+            Deliver::Reclaimed { node, idx } => Event::ReclaimedArrive { node, idx },
+            Deliver::ReclaimFailed { thief } => Event::ReclaimFailed { thief },
         }
     }
 }
@@ -437,6 +492,21 @@ struct NodeState<M> {
     /// Last time a steal attempt came back empty-handed (suppresses immediate
     /// same-timestamp retries, which would loop forever on ideal links).
     last_steal_fail: Option<SimTime>,
+    /// Reclaimed descriptors parked at this node until their last producer
+    /// notification arrives. They are dependence-blocked by construction and
+    /// must *not* enter `pending`: a consumer queued ahead of its own
+    /// reclaimed producer would deadlock the FIFO, and in-flight races make
+    /// any grant-time ordering guarantee unsound. Unparked to the *front* of
+    /// `pending` the moment they resolve (the stolen-descriptor rule).
+    parked: Vec<usize>,
+    /// A reclaim request is in flight from this node.
+    reclaim_inflight: bool,
+    /// Reclaimed descriptors granted to this node and still crossing the
+    /// link. The node does not issue further requests until all landed.
+    incoming_reclaims: usize,
+    /// Last time a reclaim attempt came back empty-handed (same
+    /// ideal-link-livelock guard as `last_steal_fail`).
+    last_reclaim_fail: Option<SimTime>,
 }
 
 impl<M> NodeState<M> {
@@ -449,6 +519,52 @@ impl<M> NodeState<M> {
         self.last_accounting = now;
         self.makespan = self.makespan.max(now);
     }
+
+    /// The node's live load digest at `now`. `pending` counts parked
+    /// (reclaimed, still-blocked) descriptors too: they occupy the node
+    /// exactly like queued ones as far as a remote placement is concerned.
+    fn digest(&self, now: SimTime) -> LoadView {
+        let held = (self.pending.len() + self.parked.len()) as u64;
+        LoadView {
+            pending: held,
+            in_flight: self.outstanding.saturating_sub(held),
+            retired: self.retired,
+            updated_at: now.as_ps(),
+        }
+    }
+}
+
+/// The master's fold of the per-node load digests piggybacked on retirement
+/// notifications — the live counterpart of the routing pre-pass's placed-load
+/// board. Built only when `cfg.feedback` enables a consumer, so the off path
+/// never touches it.
+struct LoadTracker {
+    views: Vec<LoadView>,
+    /// Digests actually applied (reordered stale digests are dropped).
+    updates: u64,
+}
+
+impl LoadTracker {
+    fn new(nodes: usize) -> Self {
+        LoadTracker {
+            views: vec![LoadView::default(); nodes],
+            updates: 0,
+        }
+    }
+
+    fn observe(&mut self, node: usize, view: LoadView) {
+        if self.views[node].observe(view) {
+            self.updates += 1;
+        }
+    }
+
+    fn live(&self, now_ps: u64) -> LiveLoad<'_> {
+        LiveLoad {
+            views: &self.views,
+            now: now_ps,
+            half_life: DIGEST_HALF_LIFE_PS,
+        }
+    }
 }
 
 /// A cluster of simulated Nexus# nodes connected by an interconnect.
@@ -459,6 +575,9 @@ pub struct ClusterDriver<M> {
     steals: u64,
     steal_grants: u64,
     steal_failures: u64,
+    reclaims: u64,
+    reclaim_grants: u64,
+    reclaim_failures: u64,
 }
 
 impl<M: TaskManager> ClusterDriver<M> {
@@ -512,6 +631,10 @@ impl<M: TaskManager> ClusterDriver<M> {
                 steal_inflight: false,
                 incoming_steals: 0,
                 last_steal_fail: None,
+                parked: Vec::new(),
+                reclaim_inflight: false,
+                incoming_reclaims: 0,
+                last_reclaim_fail: None,
             })
             .collect();
         ClusterDriver {
@@ -521,6 +644,9 @@ impl<M: TaskManager> ClusterDriver<M> {
             steals: 0,
             steal_grants: 0,
             steal_failures: 0,
+            reclaims: 0,
+            reclaim_grants: 0,
+            reclaim_failures: 0,
         }
     }
 
@@ -658,6 +784,20 @@ impl<M: TaskManager> ClusterDriver<M> {
         let mut master = MasterSm::new();
         let mut steal_policy: Box<dyn StealPolicy> = self.cfg.stealing.build();
         let steal_enabled = self.cfg.stealing.is_enabled();
+        let feedback: FeedbackKind = self.cfg.feedback;
+        let reclaim_enabled = feedback.reclaim_enabled();
+        // The live-load tracker only exists while a feedback consumer is
+        // active, so the off path computes no digests and stays bit-identical
+        // to the static behaviour (same pattern as `flow`/`rec`/`prof`).
+        let mut tracker: Option<LoadTracker> = feedback
+            .is_enabled()
+            .then(|| LoadTracker::new(self.cfg.nodes));
+        // Submit-time re-placement state (`place` mode): the live policy plus
+        // an incrementally maintained placed-load board. Unlike the pre-pass
+        // board (charged at static homes during `analyze`), tasks are charged
+        // to their *final* home at commit time.
+        let mut place_live = FeedbackPlacement;
+        let mut placed_loads: Vec<PlacedLoad> = vec![PlacedLoad::default(); self.cfg.nodes];
         let supports_taskwait_on = self.nodes[0].manager.supports_taskwait_on();
         let mut notifications: u64 = 0;
         let mut makespan = SimTime::ZERO;
@@ -708,6 +848,50 @@ impl<M: TaskManager> ClusterDriver<M> {
                     match master.step(trace, now, supports_taskwait_on) {
                         MasterStep::Submit(task) => {
                             let idx = idx_of.idx(task.id);
+                            if feedback.place_enabled() {
+                                if let Some(tr) = tracker.as_ref() {
+                                    // Live re-placement: the pre-pass home was
+                                    // chosen before any runtime load existed;
+                                    // re-decide against the decayed digests.
+                                    // Producers may themselves have moved
+                                    // (re-placed, stolen or reclaimed), so the
+                                    // remote-producer set and the outstanding
+                                    // notification count are recomputed from
+                                    // the producers' *current* homes — a
+                                    // producer that already subscribed this
+                                    // task keeps exactly one subscription.
+                                    let producer_homes: Vec<usize> = metas[idx]
+                                        .producers
+                                        .iter()
+                                        .map(|&p| metas[p].home)
+                                        .collect();
+                                    let home = place_live.place(
+                                        tasks[idx],
+                                        &PlacementCtx {
+                                            nodes: self.cfg.nodes,
+                                            loads: &placed_loads,
+                                            producer_homes: &producer_homes,
+                                            distances: Some(&distances),
+                                            live: Some(tr.live(now.as_ps())),
+                                        },
+                                    );
+                                    metas[idx].home = home;
+                                    let producers = std::mem::take(&mut metas[idx].producers);
+                                    let mut remaining = 0;
+                                    let mut remote = Vec::new();
+                                    for &p in &producers {
+                                        if metas[p].subscribers.contains(&idx) {
+                                            remaining += 1;
+                                        } else if metas[p].home != home {
+                                            remote.push(p);
+                                        }
+                                    }
+                                    remaining += remote.len();
+                                    metas[idx].producers = producers;
+                                    metas[idx].remote_producers = remote;
+                                    metas[idx].remaining_remote = remaining;
+                                }
+                            }
                             let home = metas[idx].home;
                             // An open-loop source may defer the submission
                             // (future arrival time or full admission queue);
@@ -731,6 +915,10 @@ impl<M: TaskManager> ClusterDriver<M> {
                             };
                             if !deferred {
                                 master.commit_submit(task, now);
+                                if feedback.place_enabled() {
+                                    placed_loads[home].tasks += 1;
+                                    placed_loads[home].work += tasks[idx].duration;
+                                }
                                 if let Some(fs) = flow.as_mut() {
                                     fs.note_submit(home, idx, now);
                                 }
@@ -815,7 +1003,26 @@ impl<M: TaskManager> ClusterDriver<M> {
                     let meta = &mut metas[idx];
                     meta.remaining_remote -= 1;
                     let home = meta.home;
+                    let resolved = meta.remaining_remote == 0;
                     self.nodes[home].touch(now);
+                    if resolved {
+                        // A parked reclaimed descriptor resolves on its last
+                        // producer notification: it enters the queue at the
+                        // *front*, exactly like a stolen descriptor (fully
+                        // resolved by construction). No-op unless reclamation
+                        // actually parked something here.
+                        let n = &mut self.nodes[home];
+                        if let Some(pos) = n.parked.iter().position(|&i| i == idx) {
+                            n.parked.swap_remove(pos);
+                            debug_assert!(
+                                Self::eligible(&metas, idx),
+                                "unparked task {idx} still has unretired producers"
+                            );
+                            let n = &mut self.nodes[home];
+                            n.pending.push_front(idx);
+                            n.max_pending = n.max_pending.max(n.pending.len());
+                        }
+                    }
                     self.pump(
                         home,
                         now,
@@ -914,12 +1121,18 @@ impl<M: TaskManager> ClusterDriver<M> {
                         notifications += 1;
                     }
                     // …and to the master (free if the task retired on node 0).
+                    // With feedback enabled the notification carries the
+                    // retiring node's load digest — same message, same words,
+                    // no extra traffic on the happy path.
+                    let load = tracker
+                        .as_ref()
+                        .map(|_| (node, self.nodes[node].digest(now)));
                     self.send_msg(
                         node,
                         0,
                         NOTIFY_WORDS,
                         now,
-                        Deliver::MasterRetire { task },
+                        Deliver::MasterRetire { task, load },
                         &mut queue,
                         &mut rec,
                     );
@@ -936,7 +1149,12 @@ impl<M: TaskManager> ClusterDriver<M> {
                     );
                 }
 
-                Event::MasterSawRetire { task } => {
+                Event::MasterSawRetire { task, load } => {
+                    if let Some((node, view)) = load {
+                        if let Some(tr) = tracker.as_mut() {
+                            tr.observe(node, view);
+                        }
+                    }
                     if master.on_retired(task, now) {
                         queue.schedule(now, Event::MasterStep);
                     }
@@ -996,6 +1214,65 @@ impl<M: TaskManager> ClusterDriver<M> {
                     n.touch(now);
                 }
 
+                Event::ReclaimRequest { thief, victim } => {
+                    self.grant_reclaim(
+                        thief,
+                        victim,
+                        now,
+                        steal_policy.as_ref(),
+                        &mut metas,
+                        &tasks,
+                        &mut queue,
+                        &mut flow,
+                        &mut rec,
+                    );
+                }
+
+                Event::ReclaimedArrive { node, idx } => {
+                    {
+                        let n = &mut self.nodes[node];
+                        debug_assert!(
+                            n.incoming_reclaims > 0,
+                            "ReclaimedArrive at node {node} without an outstanding grant"
+                        );
+                        n.incoming_reclaims = n
+                            .incoming_reclaims
+                            .checked_sub(1)
+                            .expect("reclaim accounting underflow: arrival without a grant");
+                        n.touch(now);
+                        n.outstanding += 1;
+                    }
+                    if Self::eligible(&metas, idx) {
+                        // Every blocker resolved while the descriptor crossed
+                        // the link: it is fully resolved now and takes the
+                        // stolen-descriptor fast path to the queue front.
+                        let n = &mut self.nodes[node];
+                        n.pending.push_front(idx);
+                        n.max_pending = n.max_pending.max(n.pending.len());
+                        self.pump(
+                            node,
+                            now,
+                            &metas,
+                            &tasks,
+                            &mut queue,
+                            &mut scratch,
+                            &mut flow,
+                            &mut rec,
+                        );
+                    } else {
+                        // Still blocked: park it outside the FIFO until its
+                        // last producer notification lands (`NotifyArrive`).
+                        self.nodes[node].parked.push(idx);
+                    }
+                }
+
+                Event::ReclaimFailed { thief } => {
+                    let n = &mut self.nodes[thief];
+                    n.reclaim_inflight = false;
+                    n.last_reclaim_fail = Some(now);
+                    n.touch(now);
+                }
+
                 Event::Relay {
                     from,
                     to,
@@ -1036,6 +1313,20 @@ impl<M: TaskManager> ClusterDriver<M> {
                     now,
                     &metas,
                     &distances,
+                    steal_policy.as_mut(),
+                    &mut queue,
+                    &mut rec,
+                );
+            }
+            if reclaim_enabled {
+                // After the steal scan on purpose: a node that just issued a
+                // steal request (eligible work, strictly cheaper to import)
+                // sits out of the reclaim round.
+                self.try_reclaims(
+                    now,
+                    &metas,
+                    &distances,
+                    tracker.as_ref(),
                     steal_policy.as_mut(),
                     &mut queue,
                     &mut rec,
@@ -1098,6 +1389,13 @@ impl<M: TaskManager> ClusterDriver<M> {
         metrics.add("steal.stolen", self.steals);
         metrics.add("steal.grants", self.steal_grants);
         metrics.add("steal.failures", self.steal_failures);
+        metrics.add("reclaim.reclaimed", self.reclaims);
+        metrics.add("reclaim.grants", self.reclaim_grants);
+        metrics.add("reclaim.failures", self.reclaim_failures);
+        metrics.add(
+            "load.digest.updates",
+            tracker.as_ref().map_or(0, |tr| tr.updates),
+        );
         metrics.add("sim.events", events_processed);
         metrics.add("link.messages", link.messages);
         metrics.add("link.words", link.words);
@@ -1151,6 +1449,8 @@ impl<M: TaskManager> ClusterDriver<M> {
             notifications: metrics.counter("notify.sent"),
             steals: metrics.counter("steal.stolen"),
             steal_failures: metrics.counter("steal.failures"),
+            reclaims: metrics.counter("reclaim.reclaimed"),
+            reclaim_failures: metrics.counter("reclaim.failures"),
             sim_events: metrics.counter("sim.events"),
             link,
             max_pending_depth,
@@ -1259,6 +1559,45 @@ impl<M: TaskManager> ClusterDriver<M> {
             && n.pending.is_empty()
     }
 
+    /// True if `node` may initiate a pool reclamation right now: idle by the
+    /// steal criteria, nothing parked, no reclaim of its own in flight, and —
+    /// because the reclaim scan runs *after* the steal scan — no steal
+    /// request or granted batch in flight either (imported eligible work is
+    /// strictly cheaper than imported blocked work).
+    fn may_reclaim(n: &NodeState<M>, now: SimTime) -> bool {
+        !n.reclaim_inflight
+            && n.incoming_reclaims == 0
+            && n.last_reclaim_fail != Some(now)
+            && !n.steal_inflight
+            && n.incoming_steals == 0
+            && n.pool.free() > 0
+            && n.pool.queued() == 0
+            && n.pending.is_empty()
+            && n.parked.is_empty()
+    }
+
+    /// The per-node load board handed to steal and reclaim victim selection,
+    /// built through the shared [`NodeLoad::snapshot`] constructor (the live
+    /// runtime's manager loop builds its board through the same one).
+    fn load_board(&self, metas: &[TaskMeta]) -> Vec<NodeLoad> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                NodeLoad::snapshot(
+                    n.pending.len(),
+                    n.pending
+                        .iter()
+                        .filter(|&&i| Self::eligible(metas, i))
+                        .count(),
+                    n.pool.queued(),
+                    n.pool.free(),
+                    n.outstanding,
+                    n.pool.total_speed_milli(),
+                )
+            })
+            .collect()
+    }
+
     /// Initiates steal requests from every idle node (see
     /// [`ClusterDriver::may_steal`]). Runs after each event while stealing is
     /// enabled; the load snapshot (with its per-descriptor eligibility scan)
@@ -1275,22 +1614,7 @@ impl<M: TaskManager> ClusterDriver<M> {
         if !self.nodes.iter().any(|n| Self::may_steal(n, now)) {
             return;
         }
-        let loads: Vec<NodeLoad> = self
-            .nodes
-            .iter()
-            .map(|n| NodeLoad {
-                pending: n.pending.len(),
-                stealable: n
-                    .pending
-                    .iter()
-                    .filter(|&&i| Self::eligible(metas, i))
-                    .count(),
-                ready: n.pool.queued(),
-                free_workers: n.pool.free(),
-                outstanding: n.outstanding,
-                speed_milli: n.pool.total_speed_milli(),
-            })
-            .collect();
+        let loads = self.load_board(metas);
         for thief in 0..self.nodes.len() {
             if !Self::may_steal(&self.nodes[thief], now) {
                 continue;
@@ -1412,6 +1736,168 @@ impl<M: TaskManager> ClusterDriver<M> {
                 tasks[idx].transfer_words(),
                 now,
                 Deliver::Stolen { node: thief, idx },
+                queue,
+                rec,
+            );
+        }
+    }
+
+    /// Initiates pool-reclamation requests from every idle node (see
+    /// [`ClusterDriver::may_reclaim`]). Runs after the steal scan while
+    /// reclamation is enabled: where a steal can only take *eligible*
+    /// descriptors, a reclaim reaches past them to the dependence-blocked
+    /// remainder of a loaded pool ([`NodeLoad::reclaimable`]), betting that
+    /// the blockers resolve sooner next to spare capacity.
+    #[allow(clippy::too_many_arguments)]
+    fn try_reclaims(
+        &mut self,
+        now: SimTime,
+        metas: &[TaskMeta],
+        distances: &DistanceMatrix,
+        tracker: Option<&LoadTracker>,
+        policy: &mut dyn StealPolicy,
+        queue: &mut EventQueue<Event>,
+        rec: &mut Option<&mut dyn Recorder>,
+    ) {
+        if !self.nodes.iter().any(|n| Self::may_reclaim(n, now)) {
+            return;
+        }
+        let loads = self.load_board(metas);
+        for thief in 0..self.nodes.len() {
+            if !Self::may_reclaim(&self.nodes[thief], now) {
+                continue;
+            }
+            let live = tracker.map(|tr| tr.live(now.as_ps()));
+            let Some(victim) = policy.choose_reclaim_victim(thief, &loads, live, Some(distances))
+            else {
+                continue;
+            };
+            assert!(
+                victim != thief && victim < self.nodes.len(),
+                "reclaim policy {} picked victim {victim} for thief {thief}",
+                policy.name()
+            );
+            self.nodes[thief].reclaim_inflight = true;
+            self.send_msg(
+                thief,
+                victim,
+                RECLAIM_WORDS,
+                now,
+                Deliver::ReclaimRequest { thief, victim },
+                queue,
+                rec,
+            );
+        }
+    }
+
+    /// Handles a reclaim request arriving at `victim`: hand over up to a
+    /// batch of the youngest *ineligible* (dependence-blocked) pending
+    /// descriptors, or send an empty-handed reply. Where a steal grant
+    /// re-homes only the *consumers'* notifications, a reclaim grant must
+    /// additionally re-subscribe the moved task to its own still-unretired
+    /// producers: the victim's manager would have enforced those dependences
+    /// locally, and after the move they need cross-node retirement
+    /// notifications. Each reclaimed descriptor pays the full re-forwarding
+    /// cost on the victim→thief link, exactly like a stolen one.
+    #[allow(clippy::too_many_arguments)]
+    fn grant_reclaim(
+        &mut self,
+        thief: usize,
+        victim: usize,
+        now: SimTime,
+        policy: &dyn StealPolicy,
+        metas: &mut [TaskMeta],
+        tasks: &[&TaskDescriptor],
+        queue: &mut EventQueue<Event>,
+        flow: &mut Option<FlowState>,
+        rec: &mut Option<&mut dyn Recorder>,
+    ) {
+        self.nodes[victim].touch(now);
+        // Positions of the youngest blocked descriptors, collected from the
+        // back of the queue (descending, so removal is position-stable).
+        let mut positions: Vec<usize> = {
+            let pending = &self.nodes[victim].pending;
+            (0..pending.len())
+                .rev()
+                .filter(|&pos| !Self::eligible(metas, pending[pos]))
+                .collect()
+        };
+        let mut batch = policy.reclaim_batch(self.nodes[thief].pool.free(), positions.len());
+        if let Some(fs) = flow.as_ref() {
+            if fs.gated {
+                // An open-loop thief honours its own admission bound.
+                batch = batch.min(fs.depth.saturating_sub(fs.admitted[thief]));
+            }
+        }
+        positions.truncate(batch);
+        if positions.is_empty() {
+            self.reclaim_failures += 1;
+            self.send_msg(
+                victim,
+                thief,
+                RECLAIM_WORDS,
+                now,
+                Deliver::ReclaimFailed { thief },
+                queue,
+                rec,
+            );
+            return;
+        }
+        self.reclaim_grants += 1;
+        self.nodes[thief].reclaim_inflight = false;
+        self.nodes[thief].incoming_reclaims += positions.len();
+        for pos in positions {
+            let idx = self.nodes[victim]
+                .pending
+                .remove(pos)
+                .expect("reclaim position in range");
+            self.nodes[victim].outstanding -= 1;
+            if let Some(fs) = flow.as_mut() {
+                fs.on_slot_freed(victim, now, queue);
+                fs.note_steal_in(thief);
+            }
+            debug_assert_eq!(metas[idx].home, victim, "reclaimed task must be at home");
+            // Consumers that counted on resolving this dependence inside the
+            // victim's manager now need a cross-node notification.
+            let consumers = std::mem::take(&mut metas[idx].consumers);
+            for &c in &consumers {
+                if metas[c].home == victim && !metas[idx].subscribers.contains(&c) {
+                    metas[c].remaining_remote += 1;
+                    metas[idx].subscribers.push(c);
+                }
+            }
+            metas[idx].consumers = consumers;
+            // The task's own unretired producers: the victim's manager would
+            // have ordered them locally; subscribe the moved task to their
+            // retirement notifications instead (already-subscribed producers
+            // — the task was their remote consumer all along — keep exactly
+            // one subscription).
+            let producers = std::mem::take(&mut metas[idx].producers);
+            for &p in &producers {
+                if metas[p].retired_at.is_none() && !metas[p].subscribers.contains(&idx) {
+                    metas[idx].remaining_remote += 1;
+                    metas[p].subscribers.push(idx);
+                }
+            }
+            metas[idx].producers = producers;
+            metas[idx].home = thief;
+            self.reclaims += 1;
+            if let Some(r) = rec.as_mut() {
+                r.record(
+                    now.as_ps(),
+                    SpanEvent::Reclaimed {
+                        task: idx,
+                        from: victim,
+                        to: thief,
+                    },
+                );
+            }
+            self.send_msg(
+                victim,
+                thief,
+                tasks[idx].transfer_words(),
+                now,
+                Deliver::Reclaimed { node: thief, idx },
                 queue,
                 rec,
             );
@@ -1948,6 +2434,13 @@ mod tests {
         assert_eq!(out.metrics.counter("steal.stolen"), out.steals);
         assert_eq!(out.metrics.counter("steal.failures"), out.steal_failures);
         assert!(out.metrics.counter("steal.grants") > 0);
+        assert_eq!(out.metrics.counter("reclaim.reclaimed"), out.reclaims);
+        assert_eq!(
+            out.metrics.counter("reclaim.failures"),
+            out.reclaim_failures
+        );
+        assert_eq!(out.reclaims, 0, "feedback is off in this scenario");
+        assert_eq!(out.metrics.counter("load.digest.updates"), 0);
         assert_eq!(out.metrics.counter("notify.sent"), out.notifications);
         assert_eq!(out.metrics.counter("sim.events"), out.sim_events);
         assert_eq!(out.metrics.counter("link.words"), out.link.words);
@@ -2049,5 +2542,187 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         let _ = ClusterDriver::new(&ClusterConfig::new(0, 4), |_| IdealManager::new());
+    }
+
+    use nexus_sched::FeedbackKind;
+
+    /// Six interleaved 8-long chains pinned to node 0: at any instant only
+    /// the chain fronts are steal-eligible — everything behind them is
+    /// dependence-blocked, work that only reclamation can move.
+    fn chain_block_trace() -> Trace {
+        let mut b = nexus_trace::trace::TraceBuilder::new("reclaim-chains");
+        for i in 0..48u64 {
+            b.submit_with(|id| {
+                TaskDescriptor::builder(id.0)
+                    .inout(0x100 + (i % 6) * 0x40)
+                    .duration(us(20))
+                    .affinity(0)
+                    .build()
+            });
+        }
+        b.taskwait();
+        b.finish()
+    }
+
+    #[test]
+    fn reclamation_moves_blocked_backlogs_stealing_cannot_reach() {
+        // With stealing disabled entirely, only the reclaim protocol can get
+        // work off node 0 — and because each chain serializes on itself, the
+        // blocked tail is exactly what is worth moving.
+        let cfg = ClusterConfig::new(2, 2).with_link(LinkConfig::rdma());
+        let frozen = simulate_cluster(&chain_block_trace(), &cfg, |_| tight_sharp());
+        let reclaimed = simulate_cluster(
+            &chain_block_trace(),
+            &cfg.with_feedback(FeedbackKind::Reclaim),
+            |_| tight_sharp(),
+        );
+        assert_eq!(frozen.reclaims, 0);
+        assert_eq!(frozen.tasks, reclaimed.tasks);
+        assert!(reclaimed.reclaims > 0, "reclamation must actually happen");
+        assert!(
+            reclaimed.makespan < frozen.makespan,
+            "reclaim must improve the makespan: {} vs {}",
+            reclaimed.makespan,
+            frozen.makespan
+        );
+        // Every reclaimed descriptor paid the wire.
+        assert!(reclaimed.link.words > frozen.link.words);
+        assert_eq!(
+            reclaimed.metrics.counter("reclaim.reclaimed"),
+            reclaimed.reclaims
+        );
+        assert!(reclaimed.metrics.counter("reclaim.grants") > 0);
+        assert!(
+            reclaimed.metrics.counter("load.digest.updates") > 0,
+            "digests must ride the retirement notifications"
+        );
+    }
+
+    #[test]
+    fn reclaimed_descriptors_keep_dependences_and_conserve_the_lifecycle() {
+        // Recorded reclaim run: every task retires exactly once (the
+        // conservation checker treats a Reclaimed task like a Stolen one),
+        // and the span census agrees with the outcome counters.
+        let cfg = ClusterConfig::new(2, 2)
+            .with_link(LinkConfig::rdma())
+            .with_feedback(FeedbackKind::Reclaim);
+        let mut rec = nexus_obs::MemRecorder::new(nexus_obs::TimeBase::VirtualPs);
+        let out = simulate_cluster_traced(&chain_block_trace(), &cfg, |_| tight_sharp(), &mut rec);
+        let report = nexus_obs::check_conservation(&rec.events)
+            .expect("reclaim trace must conserve the task lifecycle");
+        assert_eq!(report.retired as u64, out.tasks);
+        assert_eq!(report.reclaimed as u64, out.reclaims);
+        assert!(out.reclaims > 0, "scenario must actually reclaim");
+        // The chains force sequential execution per chain: 8 × 20 µs is a
+        // hard lower bound however the descriptors move.
+        assert!(out.makespan >= us(160), "{}", out.makespan);
+    }
+
+    #[test]
+    fn reclaimed_descriptors_park_until_resolved_so_chains_cannot_deadlock() {
+        // The reclaim counterpart of the stolen-front-of-queue regression: a
+        // chain-heavy un-hinted trace must complete under every stealing
+        // policy with reclamation (and full feedback) on. A reclaimed
+        // descriptor entering the thief's FIFO while still blocked — ahead of
+        // or behind the wrong neighbours — would deadlock exactly like the
+        // stolen case did.
+        let trace = distributed::unhinted(&distributed::rack_clustered(
+            2,
+            2,
+            4,
+            8,
+            2.0,
+            0.5,
+            0.2,
+            us(20),
+            3,
+        ));
+        for stealing in StealKind::ALL {
+            for feedback in [FeedbackKind::Reclaim, FeedbackKind::Full] {
+                let cfg = ClusterConfig::new(4, 2)
+                    .with_stealing(stealing)
+                    .with_feedback(feedback);
+                let out = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+                assert_eq!(
+                    out.tasks,
+                    trace.task_count() as u64,
+                    "{stealing}/{feedback}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_grid_is_bit_identical_across_engines_and_reruns() {
+        // The feedback × reclaim extension of the determinism grid: every
+        // feedback mode must be bit-identical across event engines and across
+        // reruns, with stealing active so all three balancing mechanisms
+        // (placement, stealing, reclamation) interleave.
+        let trace = distributed::unhinted(&distributed::sparselu(4, 0.4, 7, 0.002));
+        for feedback in FeedbackKind::ALL {
+            let cfg = ClusterConfig::new(4, 4)
+                .with_link(LinkConfig::rdma())
+                .with_stealing(StealKind::Hierarchical)
+                .with_feedback(feedback);
+            let heap = simulate_cluster(
+                &trace,
+                &cfg.with_engine(nexus_sim::EngineKind::Heap),
+                |_| tight_sharp(),
+            );
+            let calendar = simulate_cluster(
+                &trace,
+                &cfg.with_engine(nexus_sim::EngineKind::Calendar),
+                |_| tight_sharp(),
+            );
+            let rerun = simulate_cluster(
+                &trace,
+                &cfg.with_engine(nexus_sim::EngineKind::Heap),
+                |_| tight_sharp(),
+            );
+            assert_eq!(
+                format!("{heap:?}"),
+                format!("{calendar:?}"),
+                "engines diverged on feedback {feedback}"
+            );
+            assert_eq!(
+                format!("{heap:?}"),
+                format!("{rerun:?}"),
+                "rerun diverged on feedback {feedback}"
+            );
+            // The recorder stays observational with feedback on, too.
+            let mut rec = nexus_obs::MemRecorder::new(nexus_obs::TimeBase::VirtualPs);
+            let traced = simulate_cluster_traced(&trace, &cfg, |_| tight_sharp(), &mut rec);
+            assert_eq!(
+                format!("{heap:?}"),
+                format!("{traced:?}"),
+                "recorder perturbed feedback {feedback}"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_placement_follows_the_live_digests() {
+        // `place` mode on an un-hinted imbalanced trace: the digests steer
+        // un-hinted tasks away from the hot node, so placement spreads
+        // strictly better than the static pre-pass decision.
+        let trace = distributed::unhinted(&distributed::imbalanced(4, 96, 8.0, us(50), 0.1, 5));
+        let cfg = ClusterConfig::new(4, 2).with_link(LinkConfig::rdma());
+        let static_run = simulate_cluster(&trace, &cfg, |_| tight_sharp());
+        let live = simulate_cluster(&trace, &cfg.with_feedback(FeedbackKind::Place), |_| {
+            tight_sharp()
+        });
+        assert_eq!(static_run.tasks, live.tasks);
+        assert!(live.metrics.counter("load.digest.updates") > 0);
+        assert_eq!(live.reclaims, 0, "place mode must not reclaim");
+        let spread = |o: &ClusterOutcome| {
+            let t = o.node_tasks();
+            t.iter().max().copied().unwrap_or(0) - t.iter().min().copied().unwrap_or(0)
+        };
+        assert!(
+            spread(&live) <= spread(&static_run),
+            "live placement must not be more skewed: {:?} vs {:?}",
+            live.node_tasks(),
+            static_run.node_tasks()
+        );
     }
 }

@@ -99,6 +99,14 @@ pub struct ClusterOutcome {
     pub steals: u64,
     /// Steal requests that found no eligible descriptor at the victim.
     pub steal_failures: u64,
+    /// Dependence-blocked descriptors reclaimed out of loaded pools by idle
+    /// nodes (0 unless [`FeedbackKind`](nexus_sched::FeedbackKind) enables
+    /// reclamation).
+    #[serde(default)]
+    pub reclaims: u64,
+    /// Reclaim requests that found no blocked descriptor at the victim.
+    #[serde(default)]
+    pub reclaim_failures: u64,
     /// Discrete events processed by the cluster event loop (the simulator's
     /// unit of work — `sim_events / wall_seconds` is the engine's events/sec).
     pub sim_events: u64,
@@ -199,6 +207,8 @@ mod tests {
             notifications: 3,
             steals: 0,
             steal_failures: 0,
+            reclaims: 0,
+            reclaim_failures: 0,
             sim_events: 42,
             link: LinkStats {
                 messages: 3,

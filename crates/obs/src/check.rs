@@ -18,6 +18,8 @@ pub struct ConservationReport {
     pub retired: usize,
     /// Steal grants observed.
     pub stolen: usize,
+    /// Reclaim grants observed (tasks pulled back out of a loaded pool).
+    pub reclaimed: usize,
 }
 
 #[derive(Default)]
@@ -63,6 +65,7 @@ pub fn check_conservation(events: &[(u64, SpanEvent)]) -> Result<ConservationRep
                 report.retired += 1;
             }
             SpanEvent::Stolen { .. } => report.stolen += 1,
+            SpanEvent::Reclaimed { .. } => report.reclaimed += 1,
             SpanEvent::LinkHop { .. } | SpanEvent::Backpressure { .. } => {}
         }
     }
@@ -172,6 +175,43 @@ mod tests {
         rec.record(4, SpanEvent::Retired { task: 3, node: 0 });
         let err = check_conservation(&rec.events).unwrap_err();
         assert!(err.contains("started at 10 after retired at 4"), "{err}");
+    }
+
+    #[test]
+    fn reclaimed_tasks_still_retire_exactly_once() {
+        let mut rec = MemRecorder::new(TimeBase::VirtualPs);
+        rec.record(0, SpanEvent::Submitted { task: 0 });
+        rec.record(1, SpanEvent::Placed { task: 0, node: 2 });
+        rec.record(
+            4,
+            SpanEvent::Reclaimed {
+                task: 0,
+                from: 2,
+                to: 1,
+            },
+        );
+        rec.record(9, SpanEvent::Retired { task: 0, node: 1 });
+        let report = check_conservation(&rec.events).unwrap();
+        assert_eq!(report.reclaimed, 1);
+        assert_eq!(report.retired, 1);
+
+        // A reclaimed task that never retires is still a violation …
+        rec.record(10, SpanEvent::Submitted { task: 1 });
+        rec.record(
+            12,
+            SpanEvent::Reclaimed {
+                task: 1,
+                from: 0,
+                to: 1,
+            },
+        );
+        let err = check_conservation(&rec.events).unwrap_err();
+        assert!(err.contains("task 1"), "{err}");
+        // … and so is one that retires on both the old and the new home.
+        rec.record(20, SpanEvent::Retired { task: 1, node: 0 });
+        rec.record(21, SpanEvent::Retired { task: 1, node: 1 });
+        let err = check_conservation(&rec.events).unwrap_err();
+        assert!(err.contains("retired 2 times"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ struct TaskRec {
     started: Option<(f64, usize, usize)>,
     retired: Option<f64>,
     steals: Vec<(f64, usize, usize)>,
+    reclaims: Vec<(f64, usize, usize)>,
 }
 
 /// Escapes a string for embedding in a JSON literal.
@@ -88,6 +89,11 @@ pub fn chrome_trace(rec: &MemRecorder) -> String {
                 nodes.entry(from).or_insert(0);
                 nodes.entry(to).or_insert(0);
                 tasks.entry(task).or_default().steals.push((ts, from, to));
+            }
+            SpanEvent::Reclaimed { task, from, to } => {
+                nodes.entry(from).or_insert(0);
+                nodes.entry(to).or_insert(0);
+                tasks.entry(task).or_default().reclaims.push((ts, from, to));
             }
             SpanEvent::LinkHop { tier, words, .. } => {
                 max_tier = max_tier.max(tier);
@@ -158,21 +164,24 @@ pub fn chrome_trace(rec: &MemRecorder) -> String {
                 ));
             }
         }
-        // Steal arrows: victim manager -> execution start on the thief.
-        for &(steal_ts, from, _to) in &rec.steals {
-            if steal_ts <= start_ts {
-                let id = next_flow_id;
-                next_flow_id += 1;
-                events.push(format!(
-                    "{{\"ph\":\"s\",\"pid\":{from},\"tid\":0,\"ts\":{},\
-                     \"cat\":\"flow\",\"name\":\"steal\",\"id\":{id}}}",
-                    micros(steal_ts)
-                ));
-                events.push(format!(
-                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{node},\"tid\":{tid},\"ts\":{},\
-                     \"cat\":\"flow\",\"name\":\"steal\",\"id\":{id}}}",
-                    micros(start_ts)
-                ));
+        // Steal / reclaim arrows: victim manager -> execution start on the
+        // node that took the descriptor over.
+        for (name, moves) in [("steal", &rec.steals), ("reclaim", &rec.reclaims)] {
+            for &(move_ts, from, _to) in moves {
+                if move_ts <= start_ts {
+                    let id = next_flow_id;
+                    next_flow_id += 1;
+                    events.push(format!(
+                        "{{\"ph\":\"s\",\"pid\":{from},\"tid\":0,\"ts\":{},\
+                         \"cat\":\"flow\",\"name\":\"{name}\",\"id\":{id}}}",
+                        micros(move_ts)
+                    ));
+                    events.push(format!(
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{node},\"tid\":{tid},\"ts\":{},\
+                         \"cat\":\"flow\",\"name\":\"{name}\",\"id\":{id}}}",
+                        micros(start_ts)
+                    ));
+                }
             }
         }
     }
@@ -247,6 +256,9 @@ pub fn text_timeline(rec: &MemRecorder) -> String {
             }
             SpanEvent::Stolen { task, from, to } => {
                 format!("stolen       task={task} from={from} to={to}")
+            }
+            SpanEvent::Reclaimed { task, from, to } => {
+                format!("reclaimed    task={task} from={from} to={to}")
             }
             SpanEvent::LinkHop { link, tier, words } => {
                 format!("link-hop     link={link} tier={tier} words={words}")

@@ -5,7 +5,8 @@
 //!
 //! * **Task-lifecycle tracing** — the [`Recorder`] trait receives typed
 //!   [`SpanEvent`]s (`Submitted`, `Placed`, `Dispatched`, `Started`,
-//!   `Retired`, `Stolen`, `LinkHop`, `Backpressure`). The simulator stamps
+//!   `Retired`, `Stolen`, `Reclaimed`, `LinkHop`, `Backpressure`). The
+//!   simulator stamps
 //!   them in virtual picoseconds, the runtime in monotonic wall nanoseconds
 //!   ([`TimeBase`]), through the same schema.
 //! * **Metrics [`Registry`]** — named monotonic counters and sampled gauges

@@ -87,6 +87,16 @@ pub enum SpanEvent {
         /// Thief node that received it.
         to: usize,
     },
+    /// A reclaim grant pulled the task — not yet dispatchable, still waiting
+    /// on producers — out of a loaded node's pool onto a lighter node.
+    Reclaimed {
+        /// Dense task id.
+        task: usize,
+        /// Loaded node that handed the task back.
+        from: usize,
+        /// Node that took it over.
+        to: usize,
+    },
     /// A message crossed one fabric link hop.
     LinkHop {
         /// Link index in the fabric graph.
@@ -112,7 +122,8 @@ impl SpanEvent {
             | SpanEvent::Dispatched { task, .. }
             | SpanEvent::Started { task, .. }
             | SpanEvent::Retired { task, .. }
-            | SpanEvent::Stolen { task, .. } => Some(task),
+            | SpanEvent::Stolen { task, .. }
+            | SpanEvent::Reclaimed { task, .. } => Some(task),
             SpanEvent::LinkHop { .. } | SpanEvent::Backpressure { .. } => None,
         }
     }
@@ -126,6 +137,7 @@ impl SpanEvent {
             SpanEvent::Started { .. } => "started",
             SpanEvent::Retired { .. } => "retired",
             SpanEvent::Stolen { .. } => "stolen",
+            SpanEvent::Reclaimed { .. } => "reclaimed",
             SpanEvent::LinkHop { .. } => "link_hop",
             SpanEvent::Backpressure { .. } => "backpressure",
         }

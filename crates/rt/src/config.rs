@@ -2,7 +2,7 @@
 
 use nexus_cluster::{ClusterConfig, LinkConfig};
 use nexus_obs::SharedRecorder;
-use nexus_sched::{PolicyKind, StealKind};
+use nexus_sched::{FeedbackKind, PolicyKind, StealKind};
 
 /// Configuration of a [`ClusterRuntime`](crate::ClusterRuntime).
 ///
@@ -21,6 +21,13 @@ pub struct RtConfig {
     pub placement: PolicyKind,
     /// Work-stealing policy driven by idle manager threads.
     pub stealing: StealKind,
+    /// Runtime feedback mode, mirroring `ClusterConfig::feedback`: managers
+    /// piggyback live load digests on their cross-node retirement `Notify`
+    /// messages, submit-time placement consumes them (`Place`/`Full`), and
+    /// idle managers reclaim dependence-blocked descriptors out of loaded
+    /// pools (`Reclaim`/`Full`). Off by default — the protocol then carries
+    /// no digests and the reclaim path is never entered.
+    pub feedback: FeedbackKind,
     /// Interconnect description. The runtime's channels are real and carry no
     /// simulated latency; the link config only supplies the fabric's distance
     /// matrix to distance-aware placement and tiered steal policies, exactly
@@ -52,6 +59,7 @@ impl RtConfig {
             workers_per_node,
             placement: PolicyKind::default(),
             stealing: StealKind::default(),
+            feedback: FeedbackKind::default(),
             link: LinkConfig::default(),
             worker_speeds: None,
             time_scale_ns_per_us: 0,
@@ -68,6 +76,7 @@ impl RtConfig {
             workers_per_node: cfg.workers_per_node,
             placement: cfg.placement,
             stealing: cfg.stealing,
+            feedback: cfg.feedback,
             link: cfg.link,
             worker_speeds: None,
             time_scale_ns_per_us: 0,
@@ -84,6 +93,12 @@ impl RtConfig {
     /// Same runtime with a different work-stealing policy.
     pub fn with_stealing(mut self, stealing: StealKind) -> Self {
         self.stealing = stealing;
+        self
+    }
+
+    /// Same runtime with a different feedback mode (see [`RtConfig::feedback`]).
+    pub fn with_feedback(mut self, feedback: FeedbackKind) -> Self {
+        self.feedback = feedback;
         self
     }
 
@@ -135,12 +150,26 @@ mod tests {
         assert_eq!(cfg.worker_speeds.as_deref(), Some(&[2.0, 1.0][..]));
         assert_eq!(cfg.time_scale_ns_per_us, 500);
 
-        let sim = ClusterConfig::new(3, 8).with_stealing(StealKind::Half);
+        let sim = ClusterConfig::new(3, 8)
+            .with_stealing(StealKind::Half)
+            .with_feedback(FeedbackKind::Reclaim);
         let rt = RtConfig::from_cluster(&sim);
         assert_eq!(rt.nodes, 3);
         assert_eq!(rt.workers_per_node, 8);
         assert_eq!(rt.placement, sim.placement);
         assert_eq!(rt.stealing, StealKind::Half);
+        assert_eq!(rt.feedback, FeedbackKind::Reclaim);
+        assert_eq!(
+            RtConfig::new(1, 1).feedback,
+            FeedbackKind::Off,
+            "feedback defaults off"
+        );
+        assert_eq!(
+            RtConfig::new(1, 1)
+                .with_feedback(FeedbackKind::Full)
+                .feedback,
+            FeedbackKind::Full
+        );
         assert_eq!(rt.link, sim.link);
         assert_eq!(rt.time_scale_ns_per_us, 0);
         assert!(rt.recorder.is_none());

@@ -27,6 +27,23 @@
 //! lets the policy pick a victim, and sends a `StealRequest`; the victim
 //! answers with up to `batch_for(free, backlog)` of its *youngest* ready
 //! descriptors (they have the fewest local consumers waiting).
+//!
+//! With runtime feedback enabled (`RtConfig::feedback`), the protocol grows
+//! the same two consumers the event simulator has:
+//!
+//! * **Load digests** — every cross-node `Notify` piggybacks the sender's
+//!   live [`LoadView`] (wall-nanosecond clock); each manager folds incoming
+//!   digests into its per-node view table for reclaim victim selection, and
+//!   retirements additionally publish to a shared digest board the master
+//!   reads for submit-time [`FeedbackPlacement`] (`Place`/`Full`).
+//! * **Pool reclamation** (`Reclaim`/`Full`) — an idle manager that cannot
+//!   steal (no eligible descriptor anywhere) may `ReclaimRequest` a
+//!   dependence-*blocked* descriptor out of a loaded victim's pending pool.
+//!   The victim hands back its youngest blocked descriptors with their
+//!   unresolved producer lists and registers a forwarding entry per missing
+//!   producer, so the retirement `Notify` it eventually receives is relayed
+//!   to the thief; the descriptor keeps its original home as directory,
+//!   exactly like stolen work.
 
 use crate::config::RtConfig;
 use crate::task::{RtTask, SubmitError, TaskBody};
@@ -34,7 +51,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use nexus_cluster::routing::DepScanner;
 use nexus_host::{MasterSm, MasterStep};
 use nexus_obs::{Registry, SharedRecorder, SpanEvent};
-use nexus_sched::{NodeLoad, StealPolicy};
+use nexus_sched::{FeedbackKind, FeedbackPlacement, LiveLoad, LoadView, NodeLoad, StealPolicy};
 use nexus_sim::{FxHashMap, FxHashSet, SimDuration, SimTime};
 use nexus_topo::DistanceMatrix;
 use nexus_trace::{TaskId, Trace};
@@ -48,6 +65,12 @@ use std::time::{Duration, Instant};
 /// boards for a steal opportunity.
 const IDLE_TICK: Duration = Duration::from_millis(1);
 
+/// Decay half-life of live load digests in wall nanoseconds (the runtime's
+/// observation clock) — the live counterpart of the simulator's 200 µs
+/// virtual half-life, stretched to the millisecond scale real threads
+/// schedule at.
+const DIGEST_HALF_LIFE_NS: u64 = 1_000_000;
+
 /// A ready-to-run descriptor: dependence-free, waiting for a worker. This is
 /// also the unit a steal grant transfers; `home` pins the directory node, so
 /// a descriptor stolen (even repeatedly) still reports its retirement back to
@@ -60,12 +83,29 @@ struct ReadyTask {
     body: Option<TaskBody>,
 }
 
-/// A submitted descriptor still missing producer retirements.
+/// A submitted descriptor still missing producer retirements. `home` is the
+/// directory node (differs from the holder once the descriptor has been
+/// reclaimed); `missing` lists the producers still unretired as far as the
+/// holding manager knows.
 struct PendingTask {
     id: TaskId,
+    home: usize,
     duration: SimDuration,
     body: Option<TaskBody>,
-    missing: usize,
+    missing: Vec<usize>,
+}
+
+/// A dependence-blocked descriptor in flight from a reclaim victim to the
+/// thief: a [`PendingTask`] plus its submission index, with the unresolved
+/// producer list riding along so the thief can wire up its own waiting
+/// entries.
+struct ReclaimedTask {
+    idx: usize,
+    id: TaskId,
+    home: usize,
+    duration: SimDuration,
+    body: Option<TaskBody>,
+    missing: Vec<usize>,
 }
 
 /// Messages exchanged with (and between) the manager threads.
@@ -81,8 +121,13 @@ enum MgrMsg {
     /// Master → a producer's home: node `to` consumes `producer`; notify it
     /// on retirement (immediately if already retired).
     Subscribe { producer: usize, to: usize },
-    /// Directory → subscriber: `producer` has retired.
-    Notify { producer: usize },
+    /// Directory → subscriber: `producer` has retired. With feedback enabled
+    /// the sender piggybacks its live load digest (`(node, view)`), the same
+    /// digest-on-retirement channel the event simulator uses.
+    Notify {
+        producer: usize,
+        load: Option<(usize, LoadView)>,
+    },
     /// Worker → own manager: the task finished executing.
     WorkerDone { idx: usize, id: TaskId, home: usize },
     /// Idle thief → victim: request up to a policy-sized batch.
@@ -91,6 +136,11 @@ enum MgrMsg {
     StealGrant { tasks: Vec<ReadyTask> },
     /// Thief → a stolen descriptor's home: it retired at the thief.
     StolenRetired { idx: usize },
+    /// Idle thief → victim: request dependence-blocked descriptors a steal
+    /// cannot reach (feedback `Reclaim`/`Full` only).
+    ReclaimRequest { thief: usize, free: usize },
+    /// Victim → thief: the reclaimed batch (possibly empty-handed).
+    ReclaimGrant { tasks: Vec<ReclaimedTask> },
     /// Owner → manager: stop the node's workers and exit.
     Shutdown,
 }
@@ -129,6 +179,12 @@ struct NodeStats {
     steal_requests: u64,
     steal_grants: u64,
     steal_failures: u64,
+    reclaimed_in: u64,
+    reclaimed_out: u64,
+    reclaim_requests: u64,
+    reclaim_grants: u64,
+    reclaim_failures: u64,
+    digest_updates: u64,
 }
 
 /// Everything shared about one node.
@@ -173,6 +229,16 @@ struct Inner {
     /// Span recorder shared by master, manager and worker threads (`None`
     /// when tracing is off — the emission sites skip even the clock read).
     rec: Option<SharedRecorder>,
+    /// Feedback mode the runtime was built with (drives digest piggybacking,
+    /// the shared digest board and the reclaim path).
+    feedback: FeedbackKind,
+    /// Epoch of the digest observation clock — one `Instant` shared by every
+    /// thread so all `LoadView::updated_at` stamps are comparable.
+    epoch: Instant,
+    /// Shared digest board: the freshest per-node `LoadView` each manager
+    /// published at retirement, read by the master for submit-time feedback
+    /// placement. Only written when placement feedback is on.
+    digests: Mutex<Vec<LoadView>>,
 }
 
 impl Inner {
@@ -203,6 +269,21 @@ pub struct NodeStatsSnapshot {
     pub steal_grants: u64,
     /// Steal requests this node answered empty-handed (as the victim).
     pub steal_failures: u64,
+    /// Dependence-blocked descriptors this node reclaimed from victims
+    /// (0 unless the feedback mode enables reclamation).
+    pub reclaimed_in: u64,
+    /// Blocked descriptors handed away to reclaiming thieves.
+    pub reclaimed_out: u64,
+    /// Reclaim requests this node issued while idle.
+    pub reclaim_requests: u64,
+    /// Reclaim requests this node answered with a non-empty batch (as the
+    /// victim).
+    pub reclaim_grants: u64,
+    /// Reclaim requests this node answered empty-handed (as the victim).
+    pub reclaim_failures: u64,
+    /// Piggybacked load digests this node's manager folded into its live
+    /// view table (0 with feedback off — no digest ever rides a `Notify`).
+    pub digest_updates: u64,
     /// Tasks completed per worker thread of this node.
     pub per_worker_done: Vec<u64>,
 }
@@ -222,8 +303,9 @@ pub struct ShutdownReport {
     /// Metrics registry folded associatively over the per-node statistics.
     /// Counter names match the event simulator's `ClusterOutcome::metrics`
     /// (`task.executed`, `task.retired`, `steal.stolen`, `steal.grants`,
-    /// `steal.failures`), so the conformance suite can compare the live and
-    /// simulated censuses key by key.
+    /// `steal.failures`, `reclaim.reclaimed`, `reclaim.grants`,
+    /// `reclaim.failures`, `load.digest.updates`), so the conformance suite
+    /// can compare the live and simulated censuses key by key.
     pub metrics: Registry,
 }
 
@@ -321,8 +403,17 @@ impl ClusterRuntime {
         let total_speed: u64 = speeds_milli.iter().sum();
 
         let fabric = cfg.link.fabric(cfg.nodes);
-        let scanner = DepScanner::with_policy(cfg.nodes, cfg.placement.build())
-            .with_distances(fabric.distances());
+        // With placement feedback on, the scanner routes through the live
+        // digest-driven policy (exactly what the simulator's submit-time
+        // re-placement runs); the scanner keeps owning the homes table so
+        // dependence subscriptions always match the placement actually used.
+        let scan_policy = if cfg.feedback.place_enabled() {
+            Box::new(FeedbackPlacement)
+        } else {
+            cfg.placement.build()
+        };
+        let scanner =
+            DepScanner::with_policy(cfg.nodes, scan_policy).with_distances(fabric.distances());
         let distances = Arc::new(fabric.distances());
 
         let mut mgr_tx = Vec::with_capacity(cfg.nodes);
@@ -362,6 +453,9 @@ impl ClusterRuntime {
             log: Mutex::new(RetireLog::default()),
             log_cv: Condvar::new(),
             rec: cfg.recorder.clone(),
+            feedback: cfg.feedback,
+            epoch: Instant::now(),
+            digests: Mutex::new(vec![LoadView::default(); cfg.nodes]),
         });
 
         for (node, rx) in mgr_rx.into_iter().enumerate() {
@@ -386,14 +480,19 @@ impl ClusterRuntime {
                 worker_tx,
                 policy: cfg.stealing.build(),
                 steal_enabled: cfg.stealing.is_enabled(),
+                feedback: cfg.feedback,
                 distances: Arc::clone(&distances),
                 retired: FxHashSet::default(),
                 subs: FxHashMap::default(),
                 waiting: FxHashMap::default(),
                 pending: FxHashMap::default(),
+                reclaimed_away: FxHashMap::default(),
+                views: vec![LoadView::default(); cfg.nodes],
                 ready: VecDeque::new(),
                 free: cfg.workers_per_node,
+                done: 0,
                 steal_inflight: false,
+                reclaim_inflight: false,
             };
             let t = thread::Builder::new()
                 .name(format!("nexus-rt-mgr-{node}"))
@@ -483,6 +582,10 @@ impl ClusterRuntime {
             node.add("steal.grants", s.steal_grants);
             node.add("steal.failures", s.steal_failures);
             node.add("steal.requests", s.steal_requests);
+            node.add("reclaim.reclaimed", s.reclaimed_in);
+            node.add("reclaim.grants", s.reclaim_grants);
+            node.add("reclaim.failures", s.reclaim_failures);
+            node.add("load.digest.updates", s.digest_updates);
             node.sample("node.executed", s.executed);
             metrics.merge(&node);
         }
@@ -528,7 +631,25 @@ impl RuntimeHandle {
         if sub.closed {
             return Err(SubmitError::ShutDown);
         }
-        let rec = sub.scanner.scan_full(&descriptor);
+        let rec = if self.inner.feedback.place_enabled() {
+            // Feed the freshest published digests into the scanner's
+            // feedback placement — the live analogue of the simulator's
+            // submit-time re-placement off the load tracker.
+            let views = self
+                .inner
+                .digests
+                .lock()
+                .expect("digest board poisoned")
+                .clone();
+            let live = LiveLoad {
+                views: &views,
+                now: self.inner.epoch.elapsed().as_nanos() as u64,
+                half_life: DIGEST_HALF_LIFE_NS,
+            };
+            sub.scanner.scan_full_live(&descriptor, Some(live))
+        } else {
+            sub.scanner.scan_full(&descriptor)
+        };
         let idx = sub.homes.len();
         sub.homes.push(rec.home);
         for p in descriptor.outputs() {
@@ -624,6 +745,12 @@ impl RuntimeHandle {
                     steal_requests: stats.steal_requests,
                     steal_grants: stats.steal_grants,
                     steal_failures: stats.steal_failures,
+                    reclaimed_in: stats.reclaimed_in,
+                    reclaimed_out: stats.reclaimed_out,
+                    reclaim_requests: stats.reclaim_requests,
+                    reclaim_grants: stats.reclaim_grants,
+                    reclaim_failures: stats.reclaim_failures,
+                    digest_updates: stats.digest_updates,
                     per_worker_done: shared
                         .per_worker_done
                         .iter()
@@ -692,6 +819,7 @@ struct Mgr {
     worker_tx: Sender<WorkerMsg>,
     policy: Box<dyn StealPolicy>,
     steal_enabled: bool,
+    feedback: FeedbackKind,
     distances: Arc<DistanceMatrix>,
     /// Producers known retired at this node (from local execution, `Notify`,
     /// or `StolenRetired`).
@@ -702,11 +830,22 @@ struct Mgr {
     waiting: FxHashMap<usize, Vec<usize>>,
     /// Pending tasks by submission index.
     pending: FxHashMap<usize, PendingTask>,
+    /// Forwarding entries for descriptors reclaimed away while still blocked:
+    /// producer → thief nodes to relay the retirement `Notify` to, so the
+    /// thief's copy of the dependence eventually resolves.
+    reclaimed_away: FxHashMap<usize, Vec<usize>>,
+    /// Live per-node load digests folded from piggybacked `Notify` loads
+    /// (reclaim victim selection reads them; all-default with feedback off).
+    views: Vec<LoadView>,
     /// Dependence-free descriptors waiting for a worker (the stealable
     /// backlog; thieves take from the back).
     ready: VecDeque<ReadyTask>,
     free: usize,
+    /// Tasks this node's workers completed (the digest's retire counter —
+    /// tracked locally so digest emission never takes the stats lock).
+    done: u64,
     steal_inflight: bool,
+    reclaim_inflight: bool,
 }
 
 impl Mgr {
@@ -729,6 +868,7 @@ impl Mgr {
             self.dispatch();
             if idle {
                 self.try_steal();
+                self.try_reclaim();
             }
             self.sync_board();
         }
@@ -764,24 +904,31 @@ impl Mgr {
                         idx,
                         PendingTask {
                             id,
+                            home: self.node,
                             duration,
                             body,
-                            missing: missing.len(),
+                            missing,
                         },
                     );
                 }
             }
             MgrMsg::Subscribe { producer, to } => {
                 if self.retired.contains(&producer) {
-                    let _ = self.inner.mgr_tx[to].send(MgrMsg::Notify { producer });
+                    let load = self.digest_pair();
+                    let _ = self.inner.mgr_tx[to].send(MgrMsg::Notify { producer, load });
                 } else {
                     self.subs.entry(producer).or_default().push(to);
                 }
             }
-            MgrMsg::Notify { producer } => self.producer_retired(producer),
+            MgrMsg::Notify { producer, load } => {
+                self.observe(load);
+                self.producer_retired(producer);
+            }
             MgrMsg::WorkerDone { idx, id, home } => {
                 self.free += 1;
+                self.done += 1;
                 self.stats().executed += 1;
+                self.publish_digest();
                 {
                     let mut log = self.inner.lock_log();
                     log.order.push(id);
@@ -843,15 +990,62 @@ impl Mgr {
                     }
                 }
             }
+            MgrMsg::ReclaimRequest { thief, free } => self.grant_reclaim(thief, free),
+            MgrMsg::ReclaimGrant { tasks } => {
+                self.reclaim_inflight = false;
+                if !tasks.is_empty() {
+                    self.stats().reclaimed_in += tasks.len() as u64;
+                }
+                for t in tasks {
+                    // Producers the thief already knows retired (it executed
+                    // them, or their Notify raced ahead) resolve on arrival;
+                    // the rest wait for the victim's forwarded Notifies.
+                    let missing: Vec<usize> = t
+                        .missing
+                        .into_iter()
+                        .filter(|p| !self.retired.contains(p))
+                        .collect();
+                    if missing.is_empty() {
+                        self.ready.push_back(ReadyTask {
+                            idx: t.idx,
+                            id: t.id,
+                            home: t.home,
+                            duration: t.duration,
+                            body: t.body,
+                        });
+                    } else {
+                        for &p in &missing {
+                            self.waiting.entry(p).or_default().push(t.idx);
+                        }
+                        self.pending.insert(
+                            t.idx,
+                            PendingTask {
+                                id: t.id,
+                                home: t.home,
+                                duration: t.duration,
+                                body: t.body,
+                                missing,
+                            },
+                        );
+                    }
+                }
+            }
             MgrMsg::Shutdown => unreachable!("handled in the receive loop"),
         }
     }
 
-    /// Records that producer `p` retired (idempotent) and promotes any local
-    /// tasks whose last missing producer it was.
+    /// Records that producer `p` retired (idempotent), relays the news to any
+    /// thief holding a descriptor reclaimed away while waiting on `p`, and
+    /// promotes any local tasks whose last missing producer it was.
     fn producer_retired(&mut self, p: usize) {
         if !self.retired.insert(p) {
             return;
+        }
+        if let Some(thieves) = self.reclaimed_away.remove(&p) {
+            let load = self.digest_pair();
+            for to in thieves {
+                let _ = self.inner.mgr_tx[to].send(MgrMsg::Notify { producer: p, load });
+            }
         }
         let Some(waiters) = self.waiting.remove(&p) else {
             return;
@@ -862,15 +1056,15 @@ impl Mgr {
                     .pending
                     .get_mut(&idx)
                     .expect("waiter without a pending record");
-                t.missing -= 1;
-                t.missing == 0
+                t.missing.retain(|&m| m != p);
+                t.missing.is_empty()
             };
             if now_ready {
                 let t = self.pending.remove(&idx).expect("checked above");
                 self.ready.push_back(ReadyTask {
                     idx,
                     id: t.id,
-                    home: self.node,
+                    home: t.home,
                     duration: t.duration,
                     body: t.body,
                 });
@@ -879,12 +1073,52 @@ impl Mgr {
     }
 
     /// Notifies every node subscribed to producer `p` (directory duty of the
-    /// home node).
+    /// home node), piggybacking this node's digest when feedback is on.
     fn flush_subs(&mut self, p: usize) {
         if let Some(subs) = self.subs.remove(&p) {
+            let load = self.digest_pair();
             for to in subs {
-                let _ = self.inner.mgr_tx[to].send(MgrMsg::Notify { producer: p });
+                let _ = self.inner.mgr_tx[to].send(MgrMsg::Notify { producer: p, load });
             }
+        }
+    }
+
+    /// This node's live digest, `None` with feedback off (no clock read, no
+    /// payload on the wire — the off path carries exactly the old protocol).
+    fn digest_pair(&self) -> Option<(usize, LoadView)> {
+        if !self.feedback.is_enabled() {
+            return None;
+        }
+        Some((
+            self.node,
+            LoadView {
+                pending: (self.pending.len() + self.ready.len()) as u64,
+                in_flight: (self.workers - self.free) as u64,
+                retired: self.done,
+                updated_at: self.inner.epoch.elapsed().as_nanos() as u64,
+            },
+        ))
+    }
+
+    /// Folds a piggybacked digest into the per-node view table.
+    fn observe(&mut self, load: Option<(usize, LoadView)>) {
+        if let Some((node, view)) = load {
+            if self.views[node].observe(view) {
+                self.stats().digest_updates += 1;
+            }
+        }
+    }
+
+    /// Publishes this node's digest to the shared board the master's
+    /// feedback placement reads (a retirement is the publish trigger, the
+    /// same cadence the simulator's load tracker observes digests at).
+    fn publish_digest(&self) {
+        if !self.feedback.place_enabled() {
+            return;
+        }
+        if let Some((node, view)) = self.digest_pair() {
+            let mut board = self.inner.digests.lock().expect("digest board poisoned");
+            board[node].observe(view);
         }
     }
 
@@ -919,19 +1153,7 @@ impl Mgr {
         if !self.steal_enabled || self.steal_inflight || self.free == 0 || !self.ready.is_empty() {
             return;
         }
-        let loads: Vec<NodeLoad> = self
-            .inner
-            .nodes
-            .iter()
-            .map(|n| NodeLoad {
-                pending: n.board.pending.load(Ordering::Relaxed),
-                stealable: n.board.stealable.load(Ordering::Relaxed),
-                ready: n.board.stealable.load(Ordering::Relaxed),
-                free_workers: n.board.free.load(Ordering::Relaxed),
-                outstanding: n.board.outstanding.load(Ordering::Relaxed),
-                speed_milli: n.board.speed_milli,
-            })
-            .collect();
+        let loads = self.load_board();
         let Some(victim) =
             self.policy
                 .choose_victim_tiered(self.node, &loads, Some(&self.distances))
@@ -946,9 +1168,130 @@ impl Mgr {
         });
     }
 
+    /// On an idle tick where stealing found nothing to take (or is disabled),
+    /// asks the reclaim victim choice for a node with dependence-*blocked*
+    /// descriptors and requests a batch — at most one request in flight, and
+    /// only while this node is completely drained (eligible work is always
+    /// the cheaper import).
+    fn try_reclaim(&mut self) {
+        if !self.feedback.reclaim_enabled()
+            || self.reclaim_inflight
+            || self.steal_inflight
+            || self.free == 0
+            || !self.ready.is_empty()
+            || !self.pending.is_empty()
+        {
+            return;
+        }
+        let loads = self.load_board();
+        let live = LiveLoad {
+            views: &self.views,
+            now: self.inner.epoch.elapsed().as_nanos() as u64,
+            half_life: DIGEST_HALF_LIFE_NS,
+        };
+        let Some(victim) =
+            self.policy
+                .choose_reclaim_victim(self.node, &loads, Some(live), Some(&self.distances))
+        else {
+            return;
+        };
+        self.stats().reclaim_requests += 1;
+        self.reclaim_inflight = true;
+        let _ = self.inner.mgr_tx[victim].send(MgrMsg::ReclaimRequest {
+            thief: self.node,
+            free: self.free,
+        });
+    }
+
+    /// Victim side of reclamation: hands the thief up to a policy-sized batch
+    /// of the *youngest* blocked descriptors (highest submission index — the
+    /// oldest are closest to resolving locally), each with its unresolved
+    /// producer list, and registers forwarding entries so every later
+    /// producer retirement this node learns of is relayed to the thief.
+    fn grant_reclaim(&mut self, thief: usize, free: usize) {
+        let mut blocked: Vec<usize> = self.pending.keys().copied().collect();
+        blocked.sort_unstable_by(|a, b| b.cmp(a));
+        let n = self
+            .policy
+            .reclaim_batch(free, blocked.len())
+            .min(blocked.len());
+        let mut tasks = Vec::with_capacity(n);
+        for &idx in blocked.iter().take(n) {
+            let t = self
+                .pending
+                .remove(&idx)
+                .expect("blocked index came from the pending map");
+            for &p in &t.missing {
+                if let Some(w) = self.waiting.get_mut(&p) {
+                    w.retain(|&i| i != idx);
+                    if w.is_empty() {
+                        self.waiting.remove(&p);
+                    }
+                }
+                let thieves = self.reclaimed_away.entry(p).or_default();
+                if !thieves.contains(&thief) {
+                    thieves.push(thief);
+                }
+            }
+            tasks.push(ReclaimedTask {
+                idx,
+                id: t.id,
+                home: t.home,
+                duration: t.duration,
+                body: t.body,
+                missing: t.missing,
+            });
+        }
+        if tasks.is_empty() {
+            self.stats().reclaim_failures += 1;
+        } else {
+            {
+                let mut stats = self.stats();
+                stats.reclaimed_out += tasks.len() as u64;
+                stats.reclaim_grants += 1;
+            }
+            if let Some(r) = &self.inner.rec {
+                for t in &tasks {
+                    r.record_now(SpanEvent::Reclaimed {
+                        task: t.idx,
+                        from: self.node,
+                        to: thief,
+                    });
+                }
+            }
+        }
+        let _ = self.inner.mgr_tx[thief].send(MgrMsg::ReclaimGrant { tasks });
+    }
+
+    /// Snapshots every node's published board into the policy-facing
+    /// [`NodeLoad`]s through the shared constructor (the same one the
+    /// simulator's driver uses, so the two snapshots cannot drift).
+    fn load_board(&self) -> Vec<NodeLoad> {
+        self.inner
+            .nodes
+            .iter()
+            .map(|n| {
+                let stealable = n.board.stealable.load(Ordering::Relaxed);
+                NodeLoad::snapshot(
+                    n.board.pending.load(Ordering::Relaxed),
+                    stealable,
+                    stealable,
+                    n.board.free.load(Ordering::Relaxed),
+                    n.board.outstanding.load(Ordering::Relaxed),
+                    n.board.speed_milli,
+                )
+            })
+            .collect()
+    }
+
     fn sync_board(&self) {
         let board = &self.inner.nodes[self.node].board;
-        board.pending.store(self.pending.len(), Ordering::Relaxed);
+        // `pending` counts everything held at the node (blocked + ready),
+        // matching the simulator's input-queue semantics, so that
+        // `NodeLoad::reclaimable` = blocked count on both sides.
+        board
+            .pending
+            .store(self.pending.len() + self.ready.len(), Ordering::Relaxed);
         board.stealable.store(self.ready.len(), Ordering::Relaxed);
         board.free.store(self.free, Ordering::Relaxed);
         board.outstanding.store(
@@ -1122,11 +1465,73 @@ mod tests {
         assert_eq!(report.metrics.counter("task.executed"), 24);
         assert_eq!(report.metrics.counter("task.retired"), 24);
         assert_eq!(report.metrics.counter("steal.stolen"), 0);
+        // Feedback off: the reclaim path is never entered and no digest ever
+        // rides a Notify — the keys exist but stay zero, like the simulator.
+        assert_eq!(report.metrics.counter("reclaim.reclaimed"), 0);
+        assert_eq!(report.metrics.counter("reclaim.failures"), 0);
+        assert_eq!(report.metrics.counter("load.digest.updates"), 0);
         let max_node = report.per_node.iter().map(|s| s.executed).max().unwrap();
         assert_eq!(
             report.metrics.gauge("node.executed").map(|g| g.max),
             Some(max_node)
         );
+    }
+
+    #[test]
+    fn reclamation_relocates_blocked_descriptors_to_idle_nodes() {
+        use nexus_sched::FeedbackKind;
+        let rec = SharedRecorder::new();
+        let mut rt = ClusterRuntime::new(
+            RtConfig::new(2, 1)
+                .with_feedback(FeedbackKind::Reclaim)
+                // 20 µs tasks stretched to 2 ms real so node 1's idle ticks
+                // land while node 0 still holds a blocked backlog.
+                .with_time_scale(100_000)
+                .with_recorder(rec.clone()),
+        );
+        let h = rt.start();
+        // Six four-long chains, all pinned to node 0: only the chain fronts
+        // are ever ready, so with stealing disabled reclamation is the only
+        // mechanism that can move the dependence-blocked tail.
+        for id in 0..24u64 {
+            h.submit(RtTask::new(
+                TaskDescriptor::builder(id)
+                    .inout(0x100 + (id % 6) * 0x40)
+                    .duration_us(20.0)
+                    .affinity(0)
+                    .build(),
+            ))
+            .unwrap();
+        }
+        h.taskwait();
+        let report = rt.shutdown_timeout(Duration::from_secs(60));
+        assert_eq!(report.pending, 0);
+        assert_eq!(report.retired, 24);
+
+        let reclaimed_in: u64 = report.per_node.iter().map(|s| s.reclaimed_in).sum();
+        let reclaimed_out: u64 = report.per_node.iter().map(|s| s.reclaimed_out).sum();
+        assert!(
+            reclaimed_in > 0,
+            "no descriptor was ever reclaimed: {:?}",
+            report.per_node
+        );
+        assert_eq!(reclaimed_in, reclaimed_out, "reclaim handoffs must balance");
+        assert!(
+            report.per_node[1].executed > 0,
+            "node 1 never executed reclaimed work"
+        );
+        assert_eq!(report.metrics.counter("reclaim.reclaimed"), reclaimed_in);
+        assert!(report.metrics.counter("reclaim.grants") > 0);
+        assert!(
+            report.metrics.counter("load.digest.updates") > 0,
+            "no digest ever rode a Notify"
+        );
+
+        let snap = rec.snapshot();
+        let conserved = nexus_obs::check_conservation(&snap.events)
+            .expect("reclaimed lifecycle breaks conservation");
+        assert_eq!(conserved.retired, 24);
+        assert_eq!(conserved.reclaimed as u64, reclaimed_in);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Live load telemetry for feedback-driven scheduling.
+//!
+//! The routing pre-pass sees only the load it has placed itself; it cannot
+//! know that one node's manager pool has backed up at runtime. [`LoadView`]
+//! is the per-node *live* digest closing that loop: piggybacked on existing
+//! retirement notifications by the cluster driver's load tracker (and on the
+//! live runtime's notification channel messages), aged by its staleness and
+//! exponentially decayed so an old digest stops repelling placements.
+//! [`FeedbackKind`] is the `ClusterConfig` / `NEXUS_FEEDBACK` handle that
+//! selects which consumers act on it: live placement
+//! ([`crate::FeedbackPlacement`]), task-pool reclamation (the
+//! `choose_reclaim_victim` hook on [`crate::StealPolicy`]), or both.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One node's live load digest, as piggybacked on retirement notifications.
+///
+/// All fields are raw integers in the producer's units so that digests from
+/// the virtual-time simulator and the wall-clock runtime flow through the
+/// same type; consumers only ever compare digests from one producer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadView {
+    /// Descriptors held at the node's input processor (queued plus parked),
+    /// not yet handed to its manager.
+    pub pending: u64,
+    /// Tasks that arrived at the node and have not retired yet.
+    pub in_flight: u64,
+    /// Total tasks the node has retired so far (the retire-rate numerator).
+    pub retired: u64,
+    /// Producer timestamp of the digest, in the observation clock's units
+    /// (virtual picoseconds in the simulator, wall nanoseconds live).
+    pub updated_at: u64,
+}
+
+impl LoadView {
+    /// Folds a fresher digest in, returning whether it was applied. Digests
+    /// ride multi-hop links and can arrive reordered; an older-timestamped
+    /// digest never rolls the view backwards.
+    pub fn observe(&mut self, view: LoadView) -> bool {
+        if view.updated_at >= self.updated_at {
+            *self = view;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Staleness age of the digest at `now` (0 for same-instant digests).
+    pub fn age(&self, now: u64) -> u64 {
+        now.saturating_sub(self.updated_at)
+    }
+
+    /// Raw load: everything at the node that has not retired yet.
+    pub fn raw_load(&self) -> u64 {
+        self.pending + self.in_flight
+    }
+
+    /// Exponentially decayed load: the raw load halved once per elapsed
+    /// `half_life` of staleness (`half_life == 0` disables decay). Integer
+    /// shifts keep the decay bit-exact across reruns and engines.
+    pub fn decayed_load(&self, now: u64, half_life: u64) -> u64 {
+        if half_life == 0 {
+            return self.raw_load();
+        }
+        let halvings = (self.age(now) / half_life).min(63);
+        self.raw_load() >> halvings
+    }
+
+    /// Mean retire throughput since the producer's epoch, in milli-tasks per
+    /// clock unit (0 when no time has passed).
+    pub fn retire_rate_milli(&self, now: u64) -> u64 {
+        self.retired
+            .saturating_mul(1000)
+            .checked_div(now)
+            .unwrap_or(0)
+    }
+}
+
+/// A cluster-wide set of live digests plus the consumer's observation clock —
+/// the borrowed bundle placement and reclaim policies consume.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveLoad<'a> {
+    /// Per-node digests (`views.len()` == node count).
+    pub views: &'a [LoadView],
+    /// The consumer's current clock, in the digests' units.
+    pub now: u64,
+    /// Decay half-life in clock units (0 = no decay).
+    pub half_life: u64,
+}
+
+impl LiveLoad<'_> {
+    /// Decayed load of `node` (0 for out-of-range nodes).
+    pub fn decayed(&self, node: usize) -> u64 {
+        self.views
+            .get(node)
+            .map_or(0, |v| v.decayed_load(self.now, self.half_life))
+    }
+}
+
+/// Which feedback consumers are active (the `ClusterConfig` / `NEXUS_FEEDBACK`
+/// handle). Off by default: the scheduling path is bit-identical to the
+/// static pre-pass behaviour unless explicitly enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FeedbackKind {
+    /// No feedback: static pre-pass placement, steal-only balancing.
+    #[default]
+    Off,
+    /// Live placement only ([`crate::FeedbackPlacement`] re-homes un-hinted
+    /// tasks at submit time using the decayed digests).
+    Place,
+    /// Task-pool reclamation only (idle nodes pull dependence-blocked
+    /// descriptors out of a loaded node's pool).
+    Reclaim,
+    /// Both live placement and reclamation.
+    Full,
+}
+
+impl FeedbackKind {
+    /// Every selectable feedback mode, in display order.
+    pub const ALL: [FeedbackKind; 4] = [
+        FeedbackKind::Off,
+        FeedbackKind::Place,
+        FeedbackKind::Reclaim,
+        FeedbackKind::Full,
+    ];
+
+    /// The accepted (lower-case canonical) spellings, for error messages.
+    pub const VALID: &'static str = "off|place|reclaim|full";
+
+    /// True when any feedback consumer is active (lets drivers skip the load
+    /// tracker entirely, keeping the off path bit-identical).
+    pub fn is_enabled(self) -> bool {
+        self != FeedbackKind::Off
+    }
+
+    /// True when submit-time placement consumes the live digests.
+    pub fn place_enabled(self) -> bool {
+        matches!(self, FeedbackKind::Place | FeedbackKind::Full)
+    }
+
+    /// True when the pool-reclamation protocol is active.
+    pub fn reclaim_enabled(self) -> bool {
+        matches!(self, FeedbackKind::Reclaim | FeedbackKind::Full)
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeedbackKind::Off => "off",
+            FeedbackKind::Place => "place",
+            FeedbackKind::Reclaim => "reclaim",
+            FeedbackKind::Full => "full",
+        }
+    }
+}
+
+impl fmt::Display for FeedbackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FeedbackKind {
+    type Err = String;
+
+    /// Case-insensitive; accepts a few natural spellings.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "disabled" | "0" => Ok(FeedbackKind::Off),
+            "place" | "placement" => Ok(FeedbackKind::Place),
+            "reclaim" | "reclamation" => Ok(FeedbackKind::Reclaim),
+            "full" | "on" | "both" | "1" => Ok(FeedbackKind::Full),
+            other => Err(format!(
+                "unknown feedback mode {other:?} (expected {})",
+                Self::VALID
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_never_roll_backwards() {
+        let mut view = LoadView::default();
+        assert!(view.observe(LoadView {
+            pending: 4,
+            in_flight: 2,
+            retired: 1,
+            updated_at: 100,
+        }));
+        // A reordered older digest is dropped …
+        assert!(!view.observe(LoadView {
+            pending: 9,
+            updated_at: 50,
+            ..LoadView::default()
+        }));
+        assert_eq!(view.pending, 4);
+        // … a same-instant or newer one wins.
+        assert!(view.observe(LoadView {
+            pending: 7,
+            updated_at: 100,
+            ..LoadView::default()
+        }));
+        assert_eq!(view.pending, 7);
+    }
+
+    #[test]
+    fn decay_halves_per_half_life_and_ages_out() {
+        let view = LoadView {
+            pending: 10,
+            in_flight: 6,
+            retired: 0,
+            updated_at: 1000,
+        };
+        assert_eq!(view.raw_load(), 16);
+        assert_eq!(view.age(1500), 500);
+        assert_eq!(view.age(900), 0, "future digests have zero age");
+        assert_eq!(view.decayed_load(1000, 200), 16);
+        assert_eq!(view.decayed_load(1200, 200), 8);
+        assert_eq!(view.decayed_load(1400, 200), 4);
+        assert_eq!(view.decayed_load(1000 + 200 * 64, 200), 0);
+        assert_eq!(view.decayed_load(u64::MAX, 200), 0, "shift count clamps");
+        assert_eq!(view.decayed_load(5000, 0), 16, "half-life 0 disables decay");
+    }
+
+    #[test]
+    fn retire_rate_is_mean_throughput() {
+        let view = LoadView {
+            retired: 6,
+            ..LoadView::default()
+        };
+        assert_eq!(view.retire_rate_milli(0), 0);
+        assert_eq!(view.retire_rate_milli(3), 2000);
+        assert_eq!(view.retire_rate_milli(12), 500);
+    }
+
+    #[test]
+    fn live_load_reads_per_node_with_range_safety() {
+        let views = [
+            LoadView {
+                pending: 8,
+                updated_at: 0,
+                ..LoadView::default()
+            },
+            LoadView {
+                pending: 8,
+                updated_at: 90,
+                ..LoadView::default()
+            },
+        ];
+        let live = LiveLoad {
+            views: &views,
+            now: 100,
+            half_life: 50,
+        };
+        assert_eq!(live.decayed(0), 2, "stale digest decayed twice");
+        assert_eq!(live.decayed(1), 8, "fresh digest at full weight");
+        assert_eq!(live.decayed(7), 0, "out of range reads as empty");
+    }
+
+    #[test]
+    fn kind_parsing_is_case_insensitive_with_clear_errors() {
+        assert_eq!("OFF".parse::<FeedbackKind>().unwrap(), FeedbackKind::Off);
+        assert_eq!(
+            "Place".parse::<FeedbackKind>().unwrap(),
+            FeedbackKind::Place
+        );
+        assert_eq!(
+            "RECLAIM".parse::<FeedbackKind>().unwrap(),
+            FeedbackKind::Reclaim
+        );
+        assert_eq!(
+            " Full ".parse::<FeedbackKind>().unwrap(),
+            FeedbackKind::Full
+        );
+        let err = "ful".parse::<FeedbackKind>().unwrap_err();
+        assert!(err.contains("off|place|reclaim|full"), "{err}");
+        for kind in FeedbackKind::ALL {
+            assert_eq!(kind.name().parse::<FeedbackKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(FeedbackKind::default(), FeedbackKind::Off);
+        assert!(!FeedbackKind::Off.is_enabled());
+        assert!(FeedbackKind::Place.place_enabled());
+        assert!(!FeedbackKind::Place.reclaim_enabled());
+        assert!(FeedbackKind::Reclaim.reclaim_enabled());
+        assert!(!FeedbackKind::Reclaim.place_enabled());
+        assert!(FeedbackKind::Full.place_enabled() && FeedbackKind::Full.reclaim_enabled());
+    }
+}

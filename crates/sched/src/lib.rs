@@ -22,10 +22,21 @@
 //!   (nearest-tier victims first, escalating only when the near tier has
 //!   nothing eligible).
 //!
+//! * **Runtime feedback** — [`LoadView`] live load digests (pending,
+//!   in-flight, retire-rate, staleness age) with integer exponential decay,
+//!   consumed by [`FeedbackPlacement`] (hint, then decayed-load ×
+//!   distance-weight minimization) and by the `choose_reclaim_victim` /
+//!   `reclaim_batch` hooks on [`StealPolicy`], which let an idle node pull
+//!   dependence-*blocked* descriptors ([`NodeLoad::reclaimable`]) out of a
+//!   loaded pool — work a steal can never reach. [`FeedbackKind`] selects
+//!   which consumers are active; everything is off (and bit-identical to the
+//!   static path) by default.
+//!
 //! Both are selected through `ClusterConfig` (see `nexus-cluster`) via the
-//! serializable [`PolicyKind`] / [`StealKind`] handles, whose `FromStr`
-//! implementations are case-insensitive and list the valid spellings on a
-//! typo — the benches hook them up to `NEXUS_POLICY`.
+//! serializable [`PolicyKind`] / [`StealKind`] / [`FeedbackKind`] handles,
+//! whose `FromStr` implementations are case-insensitive and list the valid
+//! spellings on a typo — the benches hook them up to `NEXUS_POLICY`,
+//! `NEXUS_STEAL` and `NEXUS_FEEDBACK`.
 //!
 //! ## Example
 //!
@@ -36,19 +47,27 @@
 //! let mut policy = "Locality".parse::<PolicyKind>().unwrap().build();
 //! let loads = vec![PlacedLoad::default(); 2];
 //! let consumer = TaskDescriptor::builder(7).input(0x100).output(0x200).build();
-//! let ctx = PlacementCtx { nodes: 2, loads: &loads, producer_homes: &[1], distances: None };
+//! let ctx = PlacementCtx {
+//!     nodes: 2,
+//!     loads: &loads,
+//!     producer_homes: &[1],
+//!     distances: None,
+//!     live: None,
+//! };
 //! // The consumer's only producer lives on node 1: keep the edge local.
 //! assert_eq!(policy.place(&consumer, &ctx), 1);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod feedback;
 pub mod place;
 pub mod steal;
 
+pub use feedback::{FeedbackKind, LiveLoad, LoadView};
 pub use place::{
-    primary_addr, xor_home, AffinityFirst, LocalityAware, PlacedLoad, PlacementCtx,
-    PlacementPolicy, PolicyKind, TopologyAware, XorHash,
+    primary_addr, xor_home, AffinityFirst, FeedbackPlacement, LocalityAware, PlacedLoad,
+    PlacementCtx, PlacementPolicy, PolicyKind, TopologyAware, XorHash,
 };
 pub use steal::{
     HierarchicalSteal, NoStealing, NodeLoad, StealHalf, StealKind, StealMostLoaded, StealPolicy,
@@ -56,6 +75,7 @@ pub use steal::{
 
 /// Convenience prelude.
 pub mod prelude {
+    pub use crate::feedback::{FeedbackKind, LiveLoad, LoadView};
     pub use crate::place::{PlacedLoad, PlacementCtx, PlacementPolicy, PolicyKind};
     pub use crate::steal::{NodeLoad, StealKind, StealPolicy};
 }

@@ -29,6 +29,7 @@
 //! (or trace generator's) domain decomposition, and overriding it would break
 //! the workload's locality story. Policies only differ on *un-hinted* tasks.
 
+use crate::feedback::LiveLoad;
 use nexus_core::distribution::xor_hash_tg;
 use nexus_sim::SimDuration;
 use nexus_topo::DistanceMatrix;
@@ -60,6 +61,10 @@ pub struct PlacementCtx<'a> {
     /// `None` means uniform wiring — distance-aware policies fall back to
     /// counting remote edges.
     pub distances: Option<&'a DistanceMatrix>,
+    /// Live per-node load digests ([`LiveLoad`]), when runtime feedback is
+    /// flowing. `None` during the static routing pre-pass — feedback-aware
+    /// policies fall back to the placed-load census.
+    pub live: Option<LiveLoad<'a>>,
 }
 
 impl PlacementCtx<'_> {
@@ -96,6 +101,7 @@ impl PlacementCtx<'_> {
 ///     loads: &loads,
 ///     producer_homes: homes,
 ///     distances: None,
+///     live: None,
 /// };
 ///
 /// // XorHash ignores the census entirely …
@@ -249,6 +255,66 @@ impl PlacementPolicy for LocalityAware {
     }
 }
 
+/// Affinity hint first; otherwise minimize decayed *live* load combined with
+/// distance-weighted producer cost — the first placement policy to consume
+/// runtime feedback instead of the pre-pass census.
+///
+/// An un-hinted task goes to the node `n` minimizing
+/// `(1 + decayed_load(n)) · (1 + Σ_h weight(h, n))` over its last-writer
+/// producer homes `h`: an idle node next to the producers wins outright, a
+/// backed-up node must be *much* closer to beat an idle one further away, and
+/// with no producers the product degenerates to pure live load balancing.
+/// The decayed load is [`LiveLoad::decayed`] — digests age out, so a node
+/// that stopped reporting (and has presumably drained) becomes attractive
+/// again instead of being repelled forever. Without a distance matrix each
+/// remote producer edge costs 1; ties fall back to decayed load, then the
+/// placed-work census, then the lowest index (deterministic).
+///
+/// Without live digests (`ctx.live == None`, e.g. inside the static routing
+/// pre-pass) the policy is exactly [`TopologyAware`].
+///
+/// Not part of [`PolicyKind`]: it is engaged by the feedback mode
+/// (`FeedbackKind`, see the cluster crate's config) on top of whatever static
+/// policy seeds the pre-pass, because it only makes sense where live digests
+/// flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedbackPlacement;
+
+impl PlacementPolicy for FeedbackPlacement {
+    fn name(&self) -> &'static str {
+        "feedback"
+    }
+
+    fn place(&mut self, task: &TaskDescriptor, ctx: &PlacementCtx<'_>) -> usize {
+        if let Some(hint) = task.home_node(ctx.nodes) {
+            return hint;
+        }
+        let Some(live) = ctx.live else {
+            return TopologyAware.place(task, ctx);
+        };
+        (0..ctx.nodes)
+            .min_by_key(|&n| {
+                let edge: u128 = match ctx.distances {
+                    Some(d) => ctx
+                        .producer_homes
+                        .iter()
+                        .map(|&h| d.weight(h, n) as u128)
+                        .sum(),
+                    None => ctx.producer_homes.iter().filter(|&&h| h != n).count() as u128,
+                };
+                let load = live.decayed(n) as u128;
+                (
+                    (1 + load) * (1 + edge),
+                    load,
+                    ctx.loads[n].work,
+                    ctx.loads[n].tasks,
+                    n,
+                )
+            })
+            .unwrap_or(0)
+    }
+}
+
 /// Selectable placement policies (the `ClusterConfig` / `NEXUS_POLICY` handle
 /// for the built-in [`PlacementPolicy`] implementations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -334,6 +400,7 @@ mod tests {
             loads,
             producer_homes: homes,
             distances: None,
+            live: None,
         }
     }
 
@@ -440,6 +507,106 @@ mod tests {
             let mut p = kind.build();
             assert_eq!(p.place(&hinted, &ctx(&loads, &[1, 1, 1])), 2, "{kind}");
         }
+        // FeedbackPlacement sits outside PolicyKind but honours hints too,
+        // even when the live digests scream that the hinted node is loaded.
+        let views = [
+            crate::LoadView::default(),
+            crate::LoadView::default(),
+            crate::LoadView {
+                pending: 1000,
+                ..crate::LoadView::default()
+            },
+            crate::LoadView::default(),
+        ];
+        let mut c = ctx(&loads, &[1, 1, 1]);
+        c.live = Some(crate::LiveLoad {
+            views: &views,
+            now: 0,
+            half_life: 0,
+        });
+        assert_eq!(FeedbackPlacement.place(&hinted, &c), 2);
+    }
+
+    #[test]
+    fn feedback_without_digests_matches_topology_aware() {
+        let loads = vec![PlacedLoad::default(); 4];
+        let mut fb = FeedbackPlacement;
+        let mut topo = TopologyAware;
+        for id in 0..32 {
+            let t = task(id, id * 0x51D3);
+            let homes = [(id as usize) % 4, (id as usize / 2) % 4];
+            assert_eq!(
+                fb.place(&t, &ctx(&loads, &homes)),
+                topo.place(&t, &ctx(&loads, &homes)),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_flees_the_loaded_node_and_follows_decay() {
+        use crate::{LiveLoad, LoadView};
+        let loads = vec![PlacedLoad::default(); 3];
+        // Node 0 holds the only producer but is drowning; nodes 1 and 2 are
+        // idle. One remote edge (cost 1+1=2) beats the hot node's load.
+        let views = [
+            LoadView {
+                pending: 20,
+                in_flight: 4,
+                updated_at: 1000,
+                ..LoadView::default()
+            },
+            LoadView {
+                updated_at: 1000,
+                ..LoadView::default()
+            },
+            LoadView {
+                updated_at: 1000,
+                ..LoadView::default()
+            },
+        ];
+        let mut c = ctx(&loads, &[0]);
+        c.live = Some(LiveLoad {
+            views: &views,
+            now: 1000,
+            half_life: 500,
+        });
+        let mut p = FeedbackPlacement;
+        assert_eq!(p.place(&task(0, 0x10), &c), 1, "flee to the idle node");
+        // Long after the digest went stale it has decayed to nothing: the
+        // producer edge dominates again and the task stays local.
+        let mut c = ctx(&loads, &[0]);
+        c.live = Some(LiveLoad {
+            views: &views,
+            now: 1000 + 500 * 10,
+            half_life: 500,
+        });
+        assert_eq!(p.place(&task(1, 0x10), &c), 0, "stale digest aged out");
+        // With no producers the policy is pure live load balancing.
+        let views = [
+            LoadView {
+                pending: 5,
+                updated_at: 0,
+                ..LoadView::default()
+            },
+            LoadView {
+                pending: 2,
+                updated_at: 0,
+                ..LoadView::default()
+            },
+            LoadView {
+                pending: 9,
+                updated_at: 0,
+                ..LoadView::default()
+            },
+        ];
+        let mut c = ctx(&loads, &[]);
+        c.live = Some(LiveLoad {
+            views: &views,
+            now: 0,
+            half_life: 0,
+        });
+        assert_eq!(p.place(&task(2, 0x10), &c), 1, "least live load wins");
     }
 
     #[test]

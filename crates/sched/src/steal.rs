@@ -22,6 +22,7 @@
 //! half of it) instead of the thief's free-worker count, amortizing the
 //! per-steal transfer cost.
 
+use crate::feedback::LiveLoad;
 use nexus_topo::DistanceMatrix;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -50,6 +51,35 @@ pub struct NodeLoad {
 }
 
 impl NodeLoad {
+    /// Assembles a snapshot from the raw queue readings. This is the single
+    /// constructor shared by the cluster driver and the live runtime's
+    /// manager loop, so a new field cannot silently drift between the
+    /// simulated and the live snapshot (both would fail to compile).
+    pub fn snapshot(
+        pending: usize,
+        stealable: usize,
+        ready: usize,
+        free_workers: usize,
+        outstanding: u64,
+        speed_milli: u64,
+    ) -> Self {
+        NodeLoad {
+            pending,
+            stealable,
+            ready,
+            free_workers,
+            outstanding,
+            speed_milli,
+        }
+    }
+
+    /// Descriptors a reclaim could reach: pending at the node but *not*
+    /// steal-eligible (dependence-blocked behind unretired producers), so
+    /// stealing alone can never move them.
+    pub fn reclaimable(&self) -> usize {
+        self.pending.saturating_sub(self.stealable)
+    }
+
     /// Time-to-drain estimate of the node's eligible backlog: `stealable`
     /// normalized by the node's reported service capacity (in fixed-point
     /// backlog-per-capacity units). A fast node with a deep queue can be a
@@ -120,6 +150,41 @@ pub trait StealPolicy: Send + Sync {
     fn batch_for(&self, free_workers: usize, victim_stealable: usize) -> usize {
         let _ = victim_stealable;
         self.batch(free_workers)
+    }
+
+    /// Chooses a victim for *pool reclamation*: an idle node pulling
+    /// dependence-blocked descriptors ([`NodeLoad::reclaimable`]) out of a
+    /// loaded node's pool — work a steal can never reach. The default picks
+    /// the largest blocked backlog, breaking ties toward the higher decayed
+    /// live load ([`LiveLoad`], when digests are flowing) and then the lowest
+    /// node index. Reclamation is gated by the driver's feedback mode, not by
+    /// the steal policy, so every policy (including [`NoStealing`]) inherits
+    /// a sensible victim choice.
+    fn choose_reclaim_victim(
+        &mut self,
+        thief: usize,
+        loads: &[NodeLoad],
+        live: Option<LiveLoad<'_>>,
+        distances: Option<&DistanceMatrix>,
+    ) -> Option<usize> {
+        let _ = distances;
+        loads
+            .iter()
+            .enumerate()
+            .filter(|&(n, l)| n != thief && l.reclaimable() > 0)
+            .max_by_key(|&(n, l)| {
+                let decayed = live.map_or(0, |lv| lv.decayed(n));
+                (l.reclaimable(), decayed, usize::MAX - n)
+            })
+            .map(|(n, _)| n)
+    }
+
+    /// Maximum number of blocked descriptors to hand back in one reclaim,
+    /// given the victim's blocked backlog at grant time. Defaults to the
+    /// steal-half rule (reclaims pay full link cost; amortize them).
+    fn reclaim_batch(&self, free_workers: usize, victim_reclaimable: usize) -> usize {
+        let _ = free_workers;
+        half_backlog(victim_reclaimable)
     }
 }
 
@@ -475,6 +540,93 @@ mod tests {
             Some(3)
         );
         assert_eq!(NoStealing.choose_victim_tiered(0, &loads, Some(&d)), None);
+    }
+
+    #[test]
+    fn snapshot_constructor_fills_every_field() {
+        let l = NodeLoad::snapshot(9, 4, 3, 2, 11, 2000);
+        assert_eq!(
+            l,
+            NodeLoad {
+                pending: 9,
+                stealable: 4,
+                ready: 3,
+                free_workers: 2,
+                outstanding: 11,
+                speed_milli: 2000,
+            }
+        );
+        assert_eq!(l.reclaimable(), 5, "pending minus steal-eligible");
+        assert_eq!(NodeLoad::snapshot(2, 7, 0, 0, 0, 0).reclaimable(), 0);
+    }
+
+    #[test]
+    fn default_reclaim_victim_targets_the_blocked_backlog() {
+        use crate::feedback::{LiveLoad, LoadView};
+        let mut loads = vec![NodeLoad::default(); 4];
+        // Node 1: deep backlog but all of it steal-eligible — not a reclaim
+        // target, a plain steal reaches it.
+        loads[1] = NodeLoad {
+            pending: 30,
+            stealable: 30,
+            ..NodeLoad::default()
+        };
+        loads[2] = NodeLoad {
+            pending: 10,
+            stealable: 2,
+            ..NodeLoad::default()
+        };
+        loads[3] = NodeLoad {
+            pending: 9,
+            stealable: 1,
+            ..NodeLoad::default()
+        };
+        let mut p = StealMostLoaded;
+        assert_eq!(p.choose_reclaim_victim(0, &loads, None, None), Some(2));
+        assert_eq!(p.choose_reclaim_victim(2, &loads, None, None), Some(3));
+        // A tie on blocked backlog breaks toward the hotter live digest.
+        loads[3] = NodeLoad {
+            pending: 10,
+            stealable: 2,
+            ..NodeLoad::default()
+        };
+        let views = [
+            LoadView::default(),
+            LoadView::default(),
+            LoadView::default(),
+            LoadView {
+                pending: 50,
+                updated_at: 0,
+                ..LoadView::default()
+            },
+        ];
+        let live = LiveLoad {
+            views: &views,
+            now: 0,
+            half_life: 0,
+        };
+        assert_eq!(
+            p.choose_reclaim_victim(0, &loads, Some(live), None),
+            Some(3)
+        );
+        // Without digests the same tie falls to the lowest index.
+        assert_eq!(p.choose_reclaim_victim(0, &loads, None, None), Some(2));
+        // NoStealing still names victims: reclamation is gated by the
+        // feedback mode, not the steal policy.
+        assert_eq!(
+            NoStealing.choose_reclaim_victim(0, &loads, Some(live), None),
+            Some(3)
+        );
+        // Nothing blocked anywhere -> no victim.
+        let idle = vec![loads[1]; 2];
+        assert_eq!(p.choose_reclaim_victim(0, &idle, None, None), None);
+    }
+
+    #[test]
+    fn reclaim_batches_use_the_half_backlog_rule() {
+        assert_eq!(StealMostLoaded.reclaim_batch(2, 9), 5);
+        assert_eq!(HierarchicalSteal.reclaim_batch(8, 1), 1);
+        assert_eq!(NoStealing.reclaim_batch(0, 0), 1, "grant paths clamp");
     }
 
     #[test]

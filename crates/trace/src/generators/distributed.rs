@@ -184,6 +184,74 @@ pub fn imbalanced(
     )
 }
 
+/// An imbalanced node-partitioned batch of dependence *chains*: node `n` owns
+/// `base_chains / skew^n` independent chains (rounded, floor 1 — a geometric
+/// decay that concentrates nearly all serial work on node 0) of `depth` tasks
+/// each, every chain pinned to its home node by an affinity hint and
+/// serialized through its own inout address.
+///
+/// Where [`imbalanced`] skews *independent* tasks — which work stealing alone
+/// can rebalance, since every pending descriptor is eligible — this trace
+/// skews *serial* work: at any instant each chain exposes exactly one
+/// eligible task (its current head), so a stealing policy can never see more
+/// than `chains` stealable descriptors while the blocked tails sit in the
+/// overloaded node's pool. This is the reproducible test bed for pool
+/// reclamation (`FeedbackKind::Reclaim`): relocating the blocked tails is the
+/// only way an idle node can take over a whole chain instead of paying one
+/// steal round-trip per task.
+///
+/// Submission is chain-major, round-robin across nodes at chain granularity
+/// (all of node 0's first chain, all of node 1's first chain, …, then every
+/// node's second chain), so each node's input queue holds contiguous whole
+/// chains and a reclaim batch taken from the back of the queue relocates
+/// coherent chain *tails* rather than one link of many chains. The
+/// construction is fully deterministic — no halo randomness, so no seed
+/// parameter.
+///
+/// # Panics
+/// Panics if `nodes`, `base_chains` or `depth` is zero, or `skew < 1`.
+pub fn chained_imbalanced(
+    nodes: usize,
+    base_chains: u64,
+    depth: u64,
+    skew: f64,
+    duration: SimDuration,
+) -> Trace {
+    assert!(nodes > 0, "need at least one node domain");
+    assert!(base_chains > 0, "need at least one chain per node domain");
+    assert!(depth > 0, "need at least one task per chain");
+    assert!(
+        skew.is_finite() && skew >= 1.0,
+        "skew must be a finite factor >= 1 (got {skew})"
+    );
+    let counts: Vec<u64> = (0..nodes)
+        .map(|n| ((base_chains as f64 / skew.powi(n as i32)).round() as u64).max(1))
+        .collect();
+    let mut b = TraceBuilder::new(format!(
+        "dist-chains-{base_chains}c{depth}d-s{skew:.1}-{nodes}n"
+    ));
+    let max_chains = *counts.iter().max().expect("at least one node domain");
+    for chain in 0..max_chains {
+        for (node, &chains) in counts.iter().enumerate() {
+            if chain >= chains {
+                continue;
+            }
+            let addr = (node as u64 * NODE_ADDR_STRIDE + 0x1000 + chain * 0x40) & ADDR_MASK_48;
+            for _ in 0..depth {
+                b.submit_with(|id| {
+                    TaskDescriptor::builder(id.0)
+                        .inout(addr)
+                        .duration(duration)
+                        .affinity(node as u32)
+                        .build()
+                });
+            }
+        }
+    }
+    b.taskwait();
+    b.finish()
+}
+
 /// A node-partitioned blocked sparse LU factorization: each node factorizes
 /// its own block matrix (per-node seed/scale as in
 /// [`super::sparselu::generate`]) with a `remote_fraction` halo coupling.
@@ -416,6 +484,33 @@ mod tests {
             .map(|t| band(t.params[0].addr))
             .next()
             .unwrap()
+    }
+
+    #[test]
+    fn chained_imbalanced_pins_geometric_serial_chains() {
+        let t = chained_imbalanced(4, 36, 16, 6.0, SimDuration::from_us(20));
+        t.validate().unwrap();
+        assert_eq!(t.name, "dist-chains-36c16d-s6.0-4n");
+        // Geometric decay: 36, 6, 1, 1 chains of 16 links each.
+        let per_node = |n: u32| t.tasks().filter(|task| task.affinity == Some(n)).count();
+        assert_eq!(per_node(0), 36 * 16);
+        assert_eq!(per_node(1), 6 * 16);
+        assert_eq!(per_node(2), 16);
+        assert_eq!(per_node(3), 16);
+        // Every chain serializes through one inout address in its home band,
+        // exactly `depth` tasks deep.
+        let mut links = std::collections::HashMap::new();
+        for task in t.tasks() {
+            assert_eq!(task.params.len(), 1);
+            let node = task.affinity.expect("every task carries an affinity") as u64;
+            assert_eq!(band(task.params[0].addr), node);
+            *links.entry(task.params[0].addr).or_insert(0u64) += 1;
+        }
+        assert_eq!(links.len(), 36 + 6 + 1 + 1);
+        assert!(links.values().all(|&depth| depth == 16));
+        // Deterministic without a seed.
+        let again = chained_imbalanced(4, 36, 16, 6.0, SimDuration::from_us(20));
+        assert_eq!(t.ops, again.ops);
     }
 
     #[test]
